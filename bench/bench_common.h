@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/str_util.h"
+#include "src/mediator/mediator.h"
+#include "src/tpch/distributions.h"
+#include "src/tpch/queries.h"
+#include "src/xdb/xdb.h"
+
+namespace xdb {
+namespace bench {
+
+/// Local scale factor -> paper scale factor mapping (DESIGN.md §1):
+/// the run executes at `local` SF and the timing model scales all row/byte
+/// counters by kScaleUp, so local 0.01 is costed as the paper's SF 10.
+constexpr double kScaleUp = 1000.0;
+
+/// Local SF that corresponds to a paper SF.
+inline double LocalSf(double paper_sf) { return paper_sf / kScaleUp; }
+
+/// Default experiment scale: the paper's headline experiments use SF 10.
+constexpr double kDefaultPaperSf = 10.0;
+
+/// Which system runs a query.
+enum class SystemKind { kXdb, kGarlic, kPresto, kSclera };
+
+inline const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kXdb:
+      return "XDB";
+    case SystemKind::kGarlic:
+      return "Garlic";
+    case SystemKind::kPresto:
+      return "Presto";
+    case SystemKind::kSclera:
+      return "ScleraDB";
+  }
+  return "?";
+}
+
+/// A federation plus the query systems attached to it. Build one per
+/// (sf, td, engines, topology) and reuse across queries.
+struct Testbed {
+  std::unique_ptr<Federation> fed;
+  std::unique_ptr<XdbSystem> xdb;
+  std::unique_ptr<MediatorSystem> garlic;
+  std::unique_ptr<MediatorSystem> presto;
+  std::unique_ptr<MediatorSystem> sclera;
+  double paper_sf = kDefaultPaperSf;
+
+  Result<XdbReport> Run(SystemKind kind, const std::string& sql) {
+    fed->network().ResetStats();
+    switch (kind) {
+      case SystemKind::kXdb:
+        return xdb->Query(sql);
+      case SystemKind::kGarlic:
+        return garlic->Query(sql);
+      case SystemKind::kPresto:
+        return presto->Query(sql);
+      case SystemKind::kSclera:
+        return sclera->Query(sql);
+    }
+    return Status::Internal("unknown system");
+  }
+};
+
+struct TestbedOptions {
+  double paper_sf = kDefaultPaperSf;
+  int td = 1;
+  tpch::EngineAssignment engines = tpch::AllPostgres();
+  int presto_workers = 4;
+  bool want_sclera = false;  // ScleraDB only appears in Figure 9
+};
+
+inline std::unique_ptr<Testbed> MakeTestbed(const TestbedOptions& opts) {
+  auto bed = std::make_unique<Testbed>();
+  bed->paper_sf = opts.paper_sf;
+  bed->fed = tpch::BuildTpchFederation(LocalSf(opts.paper_sf),
+                                       tpch::DistributionByIndex(opts.td),
+                                       opts.engines);
+  double scale = kScaleUp;
+  XdbOptions xopts;
+  xopts.scale_up = scale;
+  bed->xdb = std::make_unique<XdbSystem>(bed->fed.get(), xopts);
+  MediatorOptions mopts;
+  mopts.scale_up = scale;
+  bed->garlic = std::make_unique<MediatorSystem>(bed->fed.get(),
+                                                 MediatorKind::kGarlic,
+                                                 mopts);
+  mopts.presto_workers = opts.presto_workers;
+  bed->presto = std::make_unique<MediatorSystem>(bed->fed.get(),
+                                                 MediatorKind::kPresto,
+                                                 mopts);
+  if (opts.want_sclera) {
+    bed->sclera = std::make_unique<MediatorSystem>(bed->fed.get(),
+                                                   MediatorKind::kSclera,
+                                                   mopts);
+  }
+  return bed;
+}
+
+/// Paper-scale megabytes moved between DBMSes during the run.
+inline double TransferMb(const XdbReport& report) {
+  return report.trace.TotalTransferredBytes() * kScaleUp / 1e6;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::pair<std::string, double>>&
+                         cells,
+                     const char* unit = "s") {
+  std::printf("%-28s", label.c_str());
+  for (const auto& [name, value] : cells) {
+    std::printf("  %s=%.2f%s", name.c_str(), value, unit);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace xdb

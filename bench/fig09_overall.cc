@@ -1,0 +1,64 @@
+// Reproduces Figures 9a-9c: overall runtime of XDB vs Garlic, Presto
+// (4 workers) and ScleraDB for the six evaluation queries under table
+// distributions TD1, TD2 and TD3 at (paper) SF 10. The parenthesised
+// number is the estimated data-transfer fraction of the total (the shaded
+// region in the paper's bars).
+
+#include "bench/bench_common.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+void Run() {
+  for (int td = 1; td <= 3; ++td) {
+    PrintHeader("Figure 9" + std::string(1, static_cast<char>('a' + td - 1)) +
+                ": overall performance, TD" + std::to_string(td) +
+                ", SF 10 (seconds; parens = transfer share)");
+    TestbedOptions opts;
+    opts.td = td;
+    opts.want_sclera = true;
+    auto bed = MakeTestbed(opts);
+
+    std::printf("%-6s", "query");
+    for (SystemKind k : {SystemKind::kXdb, SystemKind::kGarlic,
+                         SystemKind::kPresto, SystemKind::kSclera}) {
+      std::printf(" %20s", SystemName(k));
+    }
+    std::printf("\n");
+
+    for (const auto& q : tpch::EvaluationQueries()) {
+      std::printf("%-6s", q.id.c_str());
+      double xdb_total = 0;
+      for (SystemKind k : {SystemKind::kXdb, SystemKind::kGarlic,
+                           SystemKind::kPresto, SystemKind::kSclera}) {
+        auto report = bed->Run(k, q.sql);
+        if (!report.ok()) {
+          std::printf(" %20s", "FAILED");
+          continue;
+        }
+        if (k == SystemKind::kXdb) xdb_total = report->total_seconds();
+        double frac = report->exec_timing.transfer_share /
+                      std::max(1e-9, report->total_seconds());
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%9.1f (%4.1f%%)",
+                      report->total_seconds(), 100.0 * frac);
+        std::printf(" %20s", cell);
+        if (k != SystemKind::kXdb && xdb_total > 0) {
+          // speedup printed after the row below
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): XDB up to ~4x faster than Garlic, ~6x than "
+      "Presto,\n~30x than ScleraDB; MW bars dominated by the transfer "
+      "share.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+int main() { xdb::bench::Run(); }

@@ -1,0 +1,61 @@
+// Reproduces Figures 12a-12c: runtime when scaling the data, for Q3
+// (3 tables), Q9 (6 tables) and Q8 (8 tables) under TD1, for XDB, Garlic
+// and Presto. The paper sweeps SF 1/10/50/100; we execute the
+// correspondingly scaled local datasets (DESIGN.md §1) and report
+// paper-scale seconds. Runtime should grow roughly linearly with the
+// intermediate data volume, with XDB fastest throughout.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+void Run() {
+  // SF 100 means a ~600k-row local lineitem; allow opting down on small
+  // machines via XDB_BENCH_MAX_SF.
+  double max_sf = 100.0;
+  if (const char* env = std::getenv("XDB_BENCH_MAX_SF")) {
+    max_sf = std::atof(env);
+  }
+  std::vector<double> sfs;
+  for (double sf : {1.0, 10.0, 50.0, 100.0}) {
+    if (sf <= max_sf) sfs.push_back(sf);
+  }
+
+  PrintHeader("Figures 12a-c: data scalability, TD1 (seconds; also MB of "
+              "intermediate transfer)");
+  std::printf("%-5s %-9s %12s %12s %12s %14s\n", "query", "sf(paper)",
+              "XDB[s]", "Garlic[s]", "Presto[s]", "XDB xfer[MB]");
+
+  for (double sf : sfs) {
+    TestbedOptions opts;
+    opts.paper_sf = sf;
+    auto bed = MakeTestbed(opts);
+    for (const char* qid : {"Q3", "Q9", "Q8"}) {
+      const auto* q = tpch::FindQuery(qid);
+      auto x = bed->Run(SystemKind::kXdb, q->sql);
+      auto g = bed->Run(SystemKind::kGarlic, q->sql);
+      auto p = bed->Run(SystemKind::kPresto, q->sql);
+      if (!x.ok() || !g.ok() || !p.ok()) {
+        std::printf("%-5s %-9.0f FAILED\n", qid, sf);
+        continue;
+      }
+      std::printf("%-5s %-9.0f %12.1f %12.1f %12.1f %14.1f\n", qid, sf,
+                  x->total_seconds(), g->total_seconds(),
+                  p->total_seconds(), TransferMb(*x));
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): XDB fastest at every SF (up to ~5x for Q8 "
+      "sf 10);\nXDB's runtime grows proportionally to its intermediate "
+      "data (e.g. Q3: 53MB at\nsf 10 -> 548MB at sf 100).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+int main() { xdb::bench::Run(); }

@@ -1,0 +1,62 @@
+// Reproduces Figure 13: average runtime over all six evaluation queries
+// when scaling the data (TD1), for XDB, Garlic and Presto. The paper
+// reports XDB ~4x faster than Presto and ~3x faster than Garlic on average
+// across scale factors, with runtime growth proportional to intermediate
+// data (120MB at sf 1 -> ~1.2GB at sf 10 -> ~13GB at sf 100).
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+void Run() {
+  double max_sf = 100.0;
+  if (const char* env = std::getenv("XDB_BENCH_MAX_SF")) {
+    max_sf = std::atof(env);
+  }
+  std::vector<double> sfs;
+  for (double sf : {1.0, 10.0, 50.0, 100.0}) {
+    if (sf <= max_sf) sfs.push_back(sf);
+  }
+
+  PrintHeader("Figure 13: average runtime over all queries, TD1");
+  std::printf("%-9s %12s %12s %12s %16s %14s\n", "sf(paper)", "XDB[s]",
+              "Garlic[s]", "Presto[s]", "speedup(G/P)", "XDB xfer[MB]");
+
+  for (double sf : sfs) {
+    TestbedOptions opts;
+    opts.paper_sf = sf;
+    auto bed = MakeTestbed(opts);
+    double sum_x = 0, sum_g = 0, sum_p = 0, sum_mb = 0;
+    int n = 0;
+    for (const auto& q : tpch::EvaluationQueries()) {
+      auto x = bed->Run(SystemKind::kXdb, q.sql);
+      auto g = bed->Run(SystemKind::kGarlic, q.sql);
+      auto p = bed->Run(SystemKind::kPresto, q.sql);
+      if (!x.ok() || !g.ok() || !p.ok()) continue;
+      sum_x += x->total_seconds();
+      sum_g += g->total_seconds();
+      sum_p += p->total_seconds();
+      sum_mb += TransferMb(*x);
+      ++n;
+    }
+    if (n == 0) continue;
+    char speed[32];
+    std::snprintf(speed, sizeof(speed), "%.1fx / %.1fx", sum_g / sum_x,
+                  sum_p / sum_x);
+    std::printf("%-9.0f %12.1f %12.1f %12.1f %16s %14.1f\n", sf, sum_x / n,
+                sum_g / n, sum_p / n, speed, sum_mb / n);
+  }
+  std::printf(
+      "\nExpected shape (paper): XDB ~3x faster than Garlic and ~4x faster "
+      "than\nPresto on average, across all scale factors.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+int main() { xdb::bench::Run(); }

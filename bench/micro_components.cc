@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) of XDB's middleware components on
+// real wall-clock time: SQL parsing, logical optimization (join-order DP),
+// plan annotation, delegation-plan finalization, deparsing, and local
+// executor throughput. These are the pieces whose cost the paper's "prep /
+// lopt / ann" phases consist of — they must stay negligible next to
+// execution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/connect/deparser.h"
+#include "src/sql/parser.h"
+#include "src/xdb/annotator.h"
+#include "src/xdb/finalizer.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+constexpr double kMicroSf = 0.002;
+
+struct MicroEnv {
+  std::unique_ptr<Federation> fed;
+  std::unique_ptr<XdbSystem> xdb;
+
+  MicroEnv() {
+    fed = tpch::BuildTpchFederation(kMicroSf, tpch::TD1());
+    xdb = std::make_unique<XdbSystem>(fed.get());
+  }
+};
+
+MicroEnv& Env() {
+  static MicroEnv env;
+  return env;
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  const auto& sql = tpch::EvaluationQueries()[state.range(0)].sql;
+  for (auto _ : state) {
+    auto parsed = sql::ParseSelect(sql);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseQuery)->DenseRange(0, 5)->Name("parse/query");
+
+void BM_LogicalOptimize(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto& sql = tpch::EvaluationQueries()[state.range(0)].sql;
+  auto stmt = sql::ParseSelect(sql);
+  for (auto _ : state) {
+    Planner planner(&env.xdb->catalog());
+    auto plan = planner.Plan(**stmt);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_LogicalOptimize)->DenseRange(0, 5)->Name("lopt/query");
+
+void BM_AnnotateAndFinalize(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto& sql = tpch::EvaluationQueries()[state.range(0)].sql;
+  auto stmt = sql::ParseSelect(sql);
+  Planner planner(&env.xdb->catalog());
+  auto plan = planner.Plan(**stmt);
+  std::map<std::string, DbmsConnector*> dcs;
+  for (const auto& name : env.fed->ServerNames()) {
+    if (auto* dc = env.xdb->connector(name)) dcs[name] = dc;
+  }
+  for (auto _ : state) {
+    PlanPtr cloned = (*plan)->Clone();
+    Annotator annotator(dcs, &env.fed->network());
+    auto st = annotator.Annotate(cloned.get());
+    auto dplan = FinalizePlan(*cloned, 1);
+    benchmark::DoNotOptimize(dplan);
+  }
+}
+BENCHMARK(BM_AnnotateAndFinalize)->DenseRange(0, 5)->Name("ann/query");
+
+void BM_Deparse(benchmark::State& state) {
+  MicroEnv& env = Env();
+  auto stmt = sql::ParseSelect(tpch::EvaluationQueries()[0].sql);
+  Planner planner(&env.xdb->catalog());
+  auto plan = planner.Plan(**stmt);
+  Dialect dialect = Dialect::Postgres();
+  for (auto _ : state) {
+    auto sql = DeparsePlan(**plan, dialect);
+    benchmark::DoNotOptimize(sql);
+  }
+}
+BENCHMARK(BM_Deparse)->Name("deparse/q3");
+
+void BM_LocalExecuteQ3(benchmark::State& state) {
+  // End-to-end local execution throughput of the DBMS substrate.
+  static Federation* mono_fed = [] {
+    auto* f = new Federation();
+    auto* s = f->AddServer("mono", EngineProfile::Postgres());
+    tpch::DbGen gen(kMicroSf);
+    for (auto& [t, d] : gen.GenerateAll()) {
+      (void)s->CreateBaseTable(t, d);
+    }
+    return f;
+  }();
+  auto* server = mono_fed->GetServer("mono");
+  const auto& sql = tpch::FindQuery("Q3")->sql;
+  for (auto _ : state) {
+    auto r = server->ExecuteQuery(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LocalExecuteQ3)->Name("exec_local/q3")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_XdbEndToEnd(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto& sql = tpch::FindQuery("Q3")->sql;
+  for (auto _ : state) {
+    auto r = env.xdb->Query(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_XdbEndToEnd)->Name("xdb_pipeline/q3")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+BENCHMARK_MAIN();

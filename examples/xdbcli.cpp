@@ -1,0 +1,107 @@
+// xdbcli — an interactive shell over an XDB federation, demonstrating the
+// full client experience: the user types one SQL statement per line; XDB
+// answers from data spread over four TPC-H DBMSes. Meta-commands:
+//   \tables        list the global schema and where each table lives
+//   \plan <sql>    show the delegation plan without executing
+//   \ddl <sql>     run the query and show the generated DDL cascade
+//   \explain <sql> ask a single DBMS for its local plan (EXPLAIN passthru)
+//   \quit
+//
+// Run with a SQL script on stdin or interactively:
+//   echo "SELECT COUNT(*) AS n FROM lineitem l" | ./example_xdbcli
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/common/str_util.h"
+#include "src/tpch/distributions.h"
+#include "src/xdb/xdb.h"
+
+using namespace xdb;
+
+namespace {
+
+void PrintTables(XdbSystem* xdb, Federation* fed) {
+  std::printf("global schema (Global-as-a-View over the federation):\n");
+  for (const auto& server : fed->ServerNames()) {
+    auto* s = fed->GetServer(server);
+    for (const auto& t : s->BaseRelations()) {
+      auto schema = s->DescribeRelation(t);
+      std::printf("  %-10s @%-4s %s\n", t.c_str(), server.c_str(),
+                  schema.ok() ? schema->ToString().c_str() : "?");
+    }
+  }
+  (void)xdb;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("loading TPC-H (sf 0.005) over TD1...\n");
+  auto fed = tpch::BuildTpchFederation(0.005, tpch::TD1());
+  XdbSystem xdb(fed.get());
+  std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
+              "\\ddl <sql>, \\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("xdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      PrintTables(&xdb, fed.get());
+      continue;
+    }
+    bool plan_only = StartsWith(line, "\\plan ");
+    bool show_ddl = StartsWith(line, "\\ddl ");
+    bool explain = StartsWith(line, "\\explain ");
+    if (plan_only) line = line.substr(6);
+    if (show_ddl) line = line.substr(5);
+    if (explain) line = line.substr(9);
+
+    if (explain) {
+      // Route EXPLAIN to the DBMS owning the (first) table.
+      auto stmt_server = xdb.catalog().LocateTable(
+          Split(Trim(line.substr(line.find("FROM") + 4)), ' ')[1]);
+      if (stmt_server.empty()) stmt_server = fed->ServerNames()[0];
+      auto r = fed->GetServer(stmt_server)
+                   ->ExecuteSql("EXPLAIN " + line);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("@%s:\n%s", stmt_server.c_str(),
+                  (*r)->ToDisplayString(50).c_str());
+      continue;
+    }
+
+    auto report = xdb.Query(line);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      continue;
+    }
+    if (plan_only || show_ddl) {
+      std::printf("%s", report->plan.ToString().c_str());
+    }
+    if (show_ddl) {
+      for (const auto& [server, ddl] : report->ddl_log) {
+        std::printf("  @%s: %s\n", server.c_str(), ddl.c_str());
+      }
+      std::printf("  client -> @%s: %s\n", report->xdb_query.server.c_str(),
+                  report->xdb_query.sql.c_str());
+    }
+    if (!plan_only) {
+      std::printf("%s", report->result->ToDisplayString(25).c_str());
+      std::printf("(%zu rows; %.2fs modelled, %.0f bytes moved between "
+                  "DBMSes)\n",
+                  report->result->num_rows(), report->total_seconds(),
+                  report->trace.TotalTransferredBytes());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

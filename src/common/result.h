@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace xdb {
+
+/// \brief Value-or-Status, in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (status is OK) or a non-OK Status. Use
+/// XDB_ASSIGN_OR_RETURN to unwrap within Status/Result-returning functions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns the given default when not OK.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace xdb
+
+#define XDB_CONCAT_IMPL(a, b) a##b
+#define XDB_CONCAT(a, b) XDB_CONCAT_IMPL(a, b)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors to the caller.
+#define XDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto XDB_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!XDB_CONCAT(_res_, __LINE__).ok())                       \
+    return XDB_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(XDB_CONCAT(_res_, __LINE__)).value()

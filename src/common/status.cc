@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace xdb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kCatalogError:
+      return "CatalogError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  Status st(code(), context + ": " + message());
+  return st;
+}
+
+}  // namespace xdb

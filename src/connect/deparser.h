@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/connect/dialect.h"
+#include "src/plan/plan.h"
+
+namespace xdb {
+
+/// \brief A task plan rendered back to a flat declarative query.
+struct DeparsedQuery {
+  std::string sql;                       // the SELECT text
+  std::vector<std::string> column_names; // unique output column names
+};
+
+/// \brief Renders a task's plan subtree as a single flat SELECT statement.
+///
+/// This is the inverse direction of the planner and the heart of delegation:
+/// the optimizer hands a DBMS an *algebraic instruction* (a plan subtree),
+/// but autonomous DBMSes only accept declarative SQL — so the instruction is
+/// deparsed into SELECT-FROM-WHERE[-GROUP BY...] text and shipped as a view
+/// definition. Placeholder leaves ("?" inputs produced by other tasks)
+/// render as references to their `placeholder_name` relation (the foreign
+/// table or materialised table created on the target DBMS).
+///
+/// Operator order *within* the task is intentionally not preserved — the
+/// target DBMS re-optimizes the flat query locally, exactly as the paper
+/// observes for delegated tasks (Section IV-B-1).
+///
+/// Supported shapes: Limit?(Sort?(Project?(Aggregate?(Filter/Join tree over
+/// Scan/Placeholder leaves)))). An Aggregate below a Join cannot be
+/// flattened and returns NotImplemented (XDB's finalizer never produces it).
+Result<DeparsedQuery> DeparsePlan(const PlanNode& plan,
+                                  const Dialect& dialect);
+
+}  // namespace xdb

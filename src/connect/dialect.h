@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xdb {
+
+/// \brief Vendor SQL dialect used when generating delegated DDL.
+///
+/// The paper's delegation engine "translates and executes DBMS-specific
+/// instructions". Our simulated servers all parse a common grammar, so the
+/// dialects differ where that grammar tolerates it (identifier quoting), and
+/// the connector is the single place a real deployment would widen.
+struct Dialect {
+  std::string name = "postgres";
+  char identifier_quote = '"';
+  bool quote_identifiers = false;  // only quote when necessary by default
+
+  std::string QuoteIdent(const std::string& ident) const {
+    if (!quote_identifiers) return ident;
+    return std::string(1, identifier_quote) + ident +
+           std::string(1, identifier_quote);
+  }
+
+  /// CREATE VIEW <name> AS <select>
+  std::string CreateViewSql(const std::string& view_name,
+                            const std::string& select_sql) const {
+    return "CREATE VIEW " + QuoteIdent(view_name) + " AS " + select_sql;
+  }
+
+  /// CREATE FOREIGN TABLE <name>(cols) SERVER <server>
+  ///   OPTIONS (table '<remote>')
+  std::string CreateForeignTableSql(
+      const std::string& table_name, const std::vector<std::string>& columns,
+      const std::string& server, const std::string& remote_relation) const {
+    std::string sql = "CREATE FOREIGN TABLE " + QuoteIdent(table_name);
+    if (!columns.empty()) {
+      sql += "(";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) sql += ", ";
+        sql += QuoteIdent(columns[i]);
+      }
+      sql += ")";
+    }
+    sql += " SERVER " + server;
+    if (!remote_relation.empty() && remote_relation != table_name) {
+      sql += " OPTIONS (table '" + remote_relation + "')";
+    }
+    return sql;
+  }
+
+  /// CREATE TABLE <name> AS SELECT * FROM <source>
+  std::string CreateTableAsSql(const std::string& table_name,
+                               const std::string& source_relation) const {
+    return "CREATE TABLE " + QuoteIdent(table_name) + " AS SELECT * FROM " +
+           QuoteIdent(source_relation);
+  }
+
+  std::string DropSql(const std::string& relation,
+                      const std::string& kind) const {
+    return "DROP " + kind + " IF EXISTS " + QuoteIdent(relation);
+  }
+
+  static Dialect Postgres() { return Dialect{"postgres", '"', false}; }
+  static Dialect MariaDb() { return Dialect{"mariadb", '`', true}; }
+  static Dialect Hive() { return Dialect{"hive", '`', false}; }
+};
+
+}  // namespace xdb

@@ -1,0 +1,92 @@
+#include "src/dbms/federation.h"
+
+#include "src/dbms/server.h"
+
+namespace xdb {
+
+Federation::Federation() = default;
+Federation::~Federation() = default;
+
+DatabaseServer* Federation::AddServer(const std::string& name,
+                                      EngineProfile profile) {
+  auto server = std::make_unique<DatabaseServer>(name, std::move(profile),
+                                                 this);
+  DatabaseServer* ptr = server.get();
+  servers_[name] = std::move(server);
+  network_.AddNode(name);
+  return ptr;
+}
+
+DatabaseServer* Federation::GetServer(const std::string& name) const {
+  auto it = servers_.find(name);
+  return it != servers_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<std::string> Federation::ServerNames() const {
+  std::vector<std::string> names;
+  for (const auto& [n, s] : servers_) names.push_back(n);
+  return names;
+}
+
+void Federation::BeginRun(const std::string& root_server) {
+  run_ = RunTrace{};
+  run_.root_server = root_server;
+  stack_.clear();
+  next_record_id_ = 0;
+  control_messages_ = 0;
+  run_active_ = true;
+}
+
+RunTrace Federation::FinishRun() {
+  run_active_ = false;
+  run_.per_server[run_.root_server].Add(run_.root_compute);
+  return std::move(run_);
+}
+
+ComputeTrace* Federation::CurrentTrace() {
+  if (!run_active_) return &scratch_;
+  if (!stack_.empty()) return &stack_.back().trace;
+  return &run_.root_compute;
+}
+
+int Federation::PushFetch(const std::string& src, const std::string& dst,
+                          const std::string& relation) {
+  if (!run_active_) {
+    stack_.push_back({-1, ComputeTrace{}});
+    return -1;
+  }
+  TransferRecord rec;
+  rec.id = next_record_id_++;
+  rec.parent_id = stack_.empty() ? -1 : stack_.back().record_id;
+  rec.src = src;
+  rec.dst = dst;
+  rec.relation = relation;
+  run_.transfers.push_back(rec);
+  stack_.push_back({rec.id, ComputeTrace{}});
+  return rec.id;
+}
+
+void Federation::PopFetch(int id, double rows, double bytes,
+                          uint64_t messages, bool materialized) {
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+  if (!run_active_ || id < 0) return;
+  for (auto& rec : run_.transfers) {
+    if (rec.id != id) continue;
+    rec.rows = rows;
+    rec.bytes = bytes;
+    rec.messages = messages;
+    rec.materialized = materialized;
+    rec.producer_compute = frame.trace;
+    run_.per_server[rec.src].Add(frame.trace);
+    break;
+  }
+}
+
+void Federation::RecordControlMessage(const std::string& a,
+                                      const std::string& b, double bytes) {
+  network_.RecordTransfer(a, b, bytes, 1);
+  if (run_active_) ++control_messages_;
+}
+
+}  // namespace xdb

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dbms/engine_profile.h"
+#include "src/dbms/run_trace.h"
+#include "src/net/network.h"
+
+namespace xdb {
+
+class DatabaseServer;
+
+/// \brief The federation: the set of autonomous DBMS servers plus the
+/// simulated network between them.
+///
+/// The federation is also the run recorder: while a top-level query executes
+/// it maintains a stack of compute-trace frames so that each inter-DBMS fetch
+/// is attributed to its producing server and nests correctly under the fetch
+/// that triggered it (RunTrace's transfer tree).
+class Federation {
+ public:
+  Federation();
+  ~Federation();
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Creates and registers a server; the federation owns it.
+  DatabaseServer* AddServer(const std::string& name,
+                            EngineProfile profile);
+
+  /// Returns nullptr when unknown.
+  DatabaseServer* GetServer(const std::string& name) const;
+
+  std::vector<std::string> ServerNames() const;
+
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  void SetNetwork(Network net) { network_ = std::move(net); }
+
+  // --- run recording ---
+
+  /// Starts recording a top-level query run rooted at `root_server`.
+  void BeginRun(const std::string& root_server);
+
+  /// Ends recording and returns everything observed.
+  RunTrace FinishRun();
+
+  bool run_active() const { return run_active_; }
+
+  /// The compute-trace frame rows should currently be attributed to.
+  ComputeTrace* CurrentTrace();
+
+  /// Opens a transfer record for a fetch of `relation` from `src` by `dst`
+  /// and pushes a fresh producer-compute frame. Returns the record id.
+  int PushFetch(const std::string& src, const std::string& dst,
+                const std::string& relation);
+
+  /// Closes the transfer record: fills in observed volume and pops the
+  /// producer frame (attributing it to `src` in per-server totals).
+  void PopFetch(int id, double rows, double bytes, uint64_t messages,
+                bool materialized);
+
+  /// Accounts a small control-plane round trip (metadata, DDL, EXPLAIN).
+  void RecordControlMessage(const std::string& a, const std::string& b,
+                            double bytes = 256);
+
+  /// Count of control messages in the active run (prep/delegation costing).
+  int control_messages() const { return control_messages_; }
+
+ private:
+  struct Frame {
+    int record_id;
+    ComputeTrace trace;
+  };
+
+  std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
+  Network network_;
+
+  bool run_active_ = false;
+  RunTrace run_;
+  // Deque, not vector: CurrentTrace() hands out pointers to the top frame
+  // that must survive nested PushFetch growth (vector reallocation would
+  // dangle them).
+  std::deque<Frame> stack_;
+  ComputeTrace scratch_;  // sink when no run is active
+  int next_record_id_ = 0;
+  int control_messages_ = 0;
+};
+
+}  // namespace xdb

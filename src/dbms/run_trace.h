@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+
+namespace xdb {
+
+/// \brief One inter-DBMS transfer observed during a query run.
+///
+/// Transfers form a tree: `parent_id` is the transfer during whose producer
+/// evaluation this transfer happened (-1 for transfers triggered directly by
+/// the top-level query). The timing model composes finish times over this
+/// tree (DESIGN.md §5).
+struct TransferRecord {
+  int id = -1;
+  int parent_id = -1;
+  std::string src;        // producing DBMS
+  std::string dst;        // consuming DBMS
+  std::string relation;   // remote relation fetched
+  double rows = 0;
+  double bytes = 0;       // serialized payload bytes (before wire inflation)
+  uint64_t messages = 1;  // batches on the wire
+  bool materialized = false;  // consumer wrote it to a local table (CTAS)
+
+  /// Compute performed by the producer to serve this fetch (excluding
+  /// compute already attributed to nested fetches).
+  ComputeTrace producer_compute;
+};
+
+/// \brief Everything observed while executing one top-level query across
+/// the federation: the root's compute plus the tree of transfers.
+struct RunTrace {
+  ComputeTrace root_compute;       // compute on the root (client-facing) DBMS
+  std::string root_server;
+  std::vector<TransferRecord> transfers;
+  std::map<std::string, ComputeTrace> per_server;  // totals, for inspection
+
+  double TotalTransferredBytes() const {
+    double b = 0;
+    for (const auto& t : transfers) b += t.bytes;
+    return b;
+  }
+  double TotalTransferredRows() const {
+    double r = 0;
+    for (const auto& t : transfers) r += t.rows;
+    return r;
+  }
+};
+
+}  // namespace xdb

@@ -1,0 +1,477 @@
+#include "src/dbms/server.h"
+
+#include <cmath>
+
+#include "src/common/str_util.h"
+#include "src/sql/parser.h"
+
+namespace xdb {
+
+namespace {
+// Rows per wire batch (FDW cursor fetch size at the scale we model).
+constexpr double kRowsPerMessage = 10000.0;
+
+uint64_t MessagesFor(double rows) {
+  return static_cast<uint64_t>(std::ceil(rows / kRowsPerMessage)) + 1;
+}
+}  // namespace
+
+DatabaseServer::DatabaseServer(std::string name, EngineProfile profile,
+                               Federation* fed)
+    : name_(std::move(name)), profile_(std::move(profile)), fed_(fed) {}
+
+Status DatabaseServer::CreateBaseTable(const std::string& table_name,
+                                       TablePtr table) {
+  std::string key = ToLower(table_name);
+  if (catalog_.count(key)) {
+    return Status::CatalogError("relation already exists: " + key);
+  }
+  CatalogEntry entry;
+  entry.kind = EntryKind::kBase;
+  entry.stats = ComputeTableStats(*table);
+  entry.table = std::move(table);
+  catalog_[key] = std::move(entry);
+  return Status::OK();
+}
+
+bool DatabaseServer::HasRelation(const std::string& relation) const {
+  return catalog_.count(ToLower(relation)) > 0;
+}
+
+std::vector<std::string> DatabaseServer::TransientRelations() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : catalog_) {
+    if (entry.kind != EntryKind::kBase) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> DatabaseServer::BaseRelations() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : catalog_) {
+    if (entry.kind == EntryKind::kBase) out.push_back(name);
+  }
+  return out;
+}
+
+Result<TableStats> DatabaseServer::GetRelationStats(
+    const std::string& relation) const {
+  auto it = catalog_.find(ToLower(relation));
+  if (it == catalog_.end()) {
+    return Status::CatalogError("unknown relation '" + relation + "' on " +
+                                name_);
+  }
+  if (it->second.kind != EntryKind::kBase &&
+      it->second.kind != EntryKind::kMaterialized) {
+    return Status::CatalogError("statistics only exist for stored tables");
+  }
+  return it->second.stats;
+}
+
+// ---------------------------------------------------------------------------
+// Execution context
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> DatabaseServer::Context::GetLocalTable(
+    const std::string& table) {
+  auto it = server_->catalog_.find(ToLower(table));
+  if (it == server_->catalog_.end()) {
+    return Status::CatalogError("unknown relation '" + table + "' on " +
+                                server_->name_);
+  }
+  const CatalogEntry& entry = it->second;
+  if (entry.kind != EntryKind::kBase &&
+      entry.kind != EntryKind::kMaterialized) {
+    return Status::Internal("relation '" + table +
+                            "' is not a stored table; the planner should "
+                            "have expanded it");
+  }
+  return entry.table;
+}
+
+Result<TablePtr> DatabaseServer::Context::ForeignFetch(
+    const std::string& server, const std::string& relation) {
+  Federation* fed = server_->fed_;
+  DatabaseServer* remote = fed->GetServer(server);
+  if (remote == nullptr) {
+    return Status::NetworkError("unknown foreign server: " + server);
+  }
+  if (!fed->network().IsReachable(server_->name_, server)) {
+    return Status::NetworkError("no connectivity between " +
+                                server_->name_ + " and " + server);
+  }
+  // Request message (the `SELECT * FROM relation` text).
+  fed->network().RecordTransfer(server_->name_, server, 128.0, 1);
+  int id = fed->PushFetch(server, server_->name_, relation);
+  Result<TablePtr> result = remote->ServeRemote(relation);
+  if (!result.ok()) {
+    fed->PopFetch(id, 0, 0, 0, false);
+    return result.status().WithContext("foreign fetch of " + server + "." +
+                                       relation + " by " + server_->name_);
+  }
+  TablePtr table = std::move(result).value();
+  double inflation = std::max(server_->profile_.wire_inflation,
+                              remote->profile().wire_inflation);
+  double bytes = static_cast<double>(table->SerializedSize()) * inflation;
+  double rows = static_cast<double>(table->num_rows());
+  uint64_t messages = MessagesFor(rows);
+  fed->network().RecordTransfer(server, server_->name_, bytes, messages);
+  fed->PopFetch(id, rows, bytes, messages, server_->materializing_);
+  return table;
+}
+
+ComputeTrace* DatabaseServer::Context::trace() {
+  return server_->fed_->CurrentTrace();
+}
+
+// ---------------------------------------------------------------------------
+// Resolution & planning
+// ---------------------------------------------------------------------------
+
+Result<PlanPtr> DatabaseServer::Resolve(const std::string& db,
+                                        const std::string& table) {
+  if (!db.empty() && !EqualsIgnoreCase(db, name_)) {
+    return Status::CatalogError("server " + name_ +
+                                " cannot resolve remote qualifier '" + db +
+                                "'");
+  }
+  std::string key = ToLower(table);
+  auto it = catalog_.find(key);
+  if (it == catalog_.end()) {
+    return Status::CatalogError("unknown relation '" + key + "' on " +
+                                name_);
+  }
+  CatalogEntry& entry = it->second;
+  switch (entry.kind) {
+    case EntryKind::kBase:
+    case EntryKind::kMaterialized:
+      return PlanNode::MakeScan(name_, key, key, entry.table->schema(),
+                                entry.stats);
+    case EntryKind::kView: {
+      Planner planner(this);
+      return planner.Plan(*entry.view_def);
+    }
+    case EntryKind::kForeign: {
+      if (!entry.schema_cached) {
+        DatabaseServer* remote = fed_->GetServer(entry.server);
+        if (remote == nullptr) {
+          return Status::NetworkError("unknown foreign server: " +
+                                      entry.server);
+        }
+        fed_->RecordControlMessage(name_, entry.server);
+        XDB_ASSIGN_OR_RETURN(Schema remote_schema,
+                             remote->DescribeRelation(
+                                 entry.remote_relation));
+        // A column list in CREATE FOREIGN TABLE renames the columns.
+        if (!entry.cached_schema.fields().empty()) {
+          if (entry.cached_schema.num_fields() !=
+              remote_schema.num_fields()) {
+            return Status::CatalogError(
+                "foreign table '" + key + "' declares " +
+                std::to_string(entry.cached_schema.num_fields()) +
+                " columns but remote relation has " +
+                std::to_string(remote_schema.num_fields()));
+          }
+          Schema renamed;
+          for (size_t i = 0; i < remote_schema.num_fields(); ++i) {
+            renamed.AddField({entry.cached_schema.field(i).name,
+                              remote_schema.field(i).type});
+          }
+          entry.cached_schema = std::move(renamed);
+        } else {
+          entry.cached_schema = std::move(remote_schema);
+        }
+        fed_->RecordControlMessage(name_, entry.server);
+        XDB_ASSIGN_OR_RETURN(double rows, remote->EstimateRelationRows(
+                                              entry.remote_relation));
+        entry.stats.row_count = rows;
+        entry.stats.columns.assign(entry.cached_schema.num_fields(),
+                                   ColumnStats{});
+        entry.schema_cached = true;
+      }
+      PlanPtr scan = PlanNode::MakeScan(name_, key, key,
+                                        entry.cached_schema, entry.stats);
+      scan->is_foreign = true;
+      scan->foreign_server = entry.server;
+      scan->remote_relation = entry.remote_relation;
+      return scan;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<PlanPtr> DatabaseServer::PlanQuery(const sql::SelectStmt& stmt) {
+  Planner planner(this);
+  return planner.Plan(stmt);
+}
+
+// ---------------------------------------------------------------------------
+// Declarative interface
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> DatabaseServer::ExecutePlanHere(const PlanNode& plan) {
+  Context ctx(this);
+  return ExecutePlan(plan, &ctx);
+}
+
+Result<TablePtr> DatabaseServer::ExecuteQuery(const std::string& sql) {
+  XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt));
+  XDB_ASSIGN_OR_RETURN(TablePtr result, ExecutePlanHere(*plan));
+  fed_->CurrentTrace()->output_rows +=
+      static_cast<double>(result->num_rows());
+  return result;
+}
+
+Result<TablePtr> DatabaseServer::ServeRemote(const std::string& relation) {
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, Resolve("", relation));
+  return ExecutePlanHere(*plan);
+}
+
+Result<TablePtr> DatabaseServer::ExecuteSql(const std::string& sql) {
+  XDB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  TablePtr out;
+  XDB_RETURN_NOT_OK(ExecuteParsed(*stmt, &out));
+  if (!out) out = std::make_shared<Table>();
+  return out;
+}
+
+Status DatabaseServer::ExecuteDdl(const std::string& sql) {
+  XDB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  if (stmt->kind == sql::StatementKind::kSelect) {
+    return Status::InvalidArgument("expected DDL, got a SELECT");
+  }
+  return ExecuteParsed(*stmt, nullptr);
+}
+
+Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
+                                     TablePtr* out) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
+      XDB_ASSIGN_OR_RETURN(TablePtr result, ExecutePlanHere(*plan));
+      fed_->CurrentTrace()->output_rows +=
+          static_cast<double>(result->num_rows());
+      if (out) *out = std::move(result);
+      return Status::OK();
+    }
+    case sql::StatementKind::kExplain: {
+      // EXPLAIN as a statement: one text row per plan line, plus a cost
+      // summary — roughly what a real DBMS prints.
+      XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
+      Estimator est;
+      PlanEstimate e = est.Estimate(*plan);
+      auto table = std::make_shared<Table>(
+          Schema({{"plan", TypeId::kString}}));
+      for (const auto& line : Split(plan->ToString(), '\n')) {
+        if (!line.empty()) table->AppendRow({Value::String(line)});
+      }
+      char summary[128];
+      std::snprintf(summary, sizeof(summary),
+                    "(cost=%.4f s, rows=%.0f, width=%.0f)",
+                    ModeledPlanCost(*plan), e.rows, e.row_width);
+      table->AppendRow({Value::String(summary)});
+      if (out) *out = std::move(table);
+      return Status::OK();
+    }
+    case sql::StatementKind::kCreateView: {
+      std::string key = ToLower(stmt.relation_name);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
+      // Validate now so delegation errors surface at DDL time, as they
+      // would on a real DBMS.
+      XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
+      CatalogEntry entry;
+      entry.kind = EntryKind::kView;
+      entry.view_def = stmt.select;
+      entry.cached_schema = plan->output_schema;
+      entry.schema_cached = true;
+      catalog_[key] = std::move(entry);
+      return Status::OK();
+    }
+    case sql::StatementKind::kCreateForeignTable: {
+      std::string key = ToLower(stmt.relation_name);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
+      if (fed_->GetServer(stmt.server) == nullptr) {
+        return Status::CatalogError("unknown SERVER: " + stmt.server);
+      }
+      CatalogEntry entry;
+      entry.kind = EntryKind::kForeign;
+      entry.server = stmt.server;
+      entry.remote_relation = ToLower(stmt.remote_relation);
+      for (const auto& c : stmt.column_names) {
+        entry.cached_schema.AddField({ToLower(c), TypeId::kInt64});
+      }
+      entry.schema_cached = false;  // resolved lazily on first use
+      catalog_[key] = std::move(entry);
+      return Status::OK();
+    }
+    case sql::StatementKind::kCreateTableAs: {
+      std::string key = ToLower(stmt.relation_name);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
+      XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
+      materializing_ = true;
+      Result<TablePtr> result = ExecutePlanHere(*plan);
+      materializing_ = false;
+      XDB_RETURN_NOT_OK(result.status());
+      TablePtr table = std::move(result).value();
+      fed_->CurrentTrace()->materialized_rows +=
+          static_cast<double>(table->num_rows());
+      CatalogEntry entry;
+      entry.kind = EntryKind::kMaterialized;
+      entry.stats = ComputeTableStats(*table);
+      entry.table = std::move(table);
+      catalog_[key] = std::move(entry);
+      return Status::OK();
+    }
+    case sql::StatementKind::kDrop: {
+      std::string key = ToLower(stmt.relation_name);
+      auto it = catalog_.find(key);
+      if (it == catalog_.end()) {
+        if (stmt.if_exists) return Status::OK();
+        return Status::CatalogError("unknown relation: " + key);
+      }
+      bool kind_ok =
+          (stmt.relation_kind == sql::RelationKind::kView &&
+           it->second.kind == EntryKind::kView) ||
+          (stmt.relation_kind == sql::RelationKind::kForeignTable &&
+           it->second.kind == EntryKind::kForeign) ||
+          (stmt.relation_kind == sql::RelationKind::kTable &&
+           (it->second.kind == EntryKind::kBase ||
+            it->second.kind == EntryKind::kMaterialized));
+      if (!kind_ok) {
+        return Status::CatalogError("relation '" + key +
+                                    "' is not of the dropped kind");
+      }
+      catalog_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Metadata & costing interface
+// ---------------------------------------------------------------------------
+
+Result<Schema> DatabaseServer::DescribeRelation(const std::string& relation) {
+  std::string key = ToLower(relation);
+  auto it = catalog_.find(key);
+  if (it == catalog_.end()) {
+    return Status::CatalogError("unknown relation '" + key + "' on " +
+                                name_);
+  }
+  CatalogEntry& entry = it->second;
+  if (entry.kind == EntryKind::kBase ||
+      entry.kind == EntryKind::kMaterialized) {
+    return entry.table->schema();
+  }
+  if (entry.schema_cached) return entry.cached_schema;
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, Resolve("", key));
+  return plan->output_schema;
+}
+
+Result<double> DatabaseServer::EstimateRelationRows(
+    const std::string& relation) {
+  std::string key = ToLower(relation);
+  auto it = catalog_.find(key);
+  if (it == catalog_.end()) {
+    return Status::CatalogError("unknown relation '" + key + "' on " +
+                                name_);
+  }
+  CatalogEntry& entry = it->second;
+  if (entry.kind == EntryKind::kBase ||
+      entry.kind == EntryKind::kMaterialized) {
+    return entry.stats.row_count;
+  }
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, Resolve("", key));
+  Estimator est;
+  return est.Estimate(*plan).rows;
+}
+
+double DatabaseServer::ModeledPlanCost(const PlanNode& plan) const {
+  Estimator est;
+  double cost = 0;
+  // Recursive walk; each node contributes rows x profile weight.
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    for (const auto& c : node.children) walk(*c);
+    PlanEstimate e = est.Estimate(node);
+    switch (node.kind) {
+      case PlanKind::kScan:
+        cost += e.rows * (node.is_foreign ? profile_.fetch_row_cost
+                                          : profile_.scan_row_cost);
+        break;
+      case PlanKind::kFilter:
+        cost += est.Estimate(*node.children[0]).rows *
+                profile_.filter_row_cost;
+        break;
+      case PlanKind::kProject:
+        cost += e.rows * profile_.project_row_cost;
+        break;
+      case PlanKind::kJoin: {
+        double l = est.Estimate(*node.children[0]).rows;
+        double r = est.Estimate(*node.children[1]).rows;
+        // Joining against a pipelined foreign stream is costlier than a
+        // local relation: the engine has no statistics and cannot pick
+        // build sides, and a large stream risks rescans (the paper's
+        // rationale for explicit movement). Streams that dwarf the local
+        // side are penalised sharply — this is what tips Eq. 1 towards
+        // explicit movement for large inputs, reproducing Table IV's mix.
+        auto stream_penalty = [&](const PlanNode& c, double own_rows,
+                                  double other_rows) {
+          bool streamed =
+              (c.kind == PlanKind::kPlaceholder && c.placeholder_foreign) ||
+              (c.kind == PlanKind::kScan && c.is_foreign);
+          if (!streamed) return 1.0;
+          return own_rows > other_rows / 2 ? 5.0 : 1.5;
+        };
+        cost += (l * stream_penalty(*node.children[0], l, r) +
+                 r * stream_penalty(*node.children[1], r, l) + e.rows) *
+                profile_.join_row_cost;
+        break;
+      }
+      case PlanKind::kAggregate:
+        cost += (est.Estimate(*node.children[0]).rows + e.rows) *
+                profile_.agg_row_cost;
+        break;
+      case PlanKind::kSort: {
+        double n = e.rows;
+        cost += n * std::log2(n + 2.0) * profile_.sort_row_cost;
+        break;
+      }
+      case PlanKind::kLimit:
+        break;
+      case PlanKind::kPlaceholder:
+        // Reading the "?" input: a foreign stream pays the per-row fetch
+        // overhead; a materialised input is a plain local scan.
+        cost += e.rows * (node.placeholder_foreign ? profile_.fetch_row_cost
+                                                   : profile_.scan_row_cost);
+        break;
+    }
+  };
+  walk(plan);
+  return cost + profile_.startup_cost;
+}
+
+Result<ExplainResult> DatabaseServer::Explain(const std::string& sql) {
+  std::string text = Trim(sql);
+  if (StartsWith(ToUpper(text), "EXPLAIN")) {
+    text = Trim(text.substr(7));
+  }
+  XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(text));
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt));
+  Estimator est;
+  PlanEstimate e = est.Estimate(*plan);
+  ExplainResult out;
+  out.cost_seconds = ModeledPlanCost(*plan);
+  out.est_rows = e.rows;
+  out.est_bytes = e.bytes();
+  return out;
+}
+
+}  // namespace xdb

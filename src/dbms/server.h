@@ -1,0 +1,133 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/dbms/engine_profile.h"
+#include "src/dbms/federation.h"
+#include "src/exec/executor.h"
+#include "src/plan/planner.h"
+#include "src/sql/ast.h"
+
+namespace xdb {
+
+/// \brief Output of the EXPLAIN interface, consumed by XDB's "consulting"
+/// cost probes (paper Section IV-B-2).
+struct ExplainResult {
+  double cost_seconds = 0;  // modelled local execution cost
+  double est_rows = 0;      // estimated result cardinality
+  double est_bytes = 0;     // estimated result volume
+};
+
+/// \brief A simulated autonomous DBMS.
+///
+/// The server exposes exactly what the paper assumes of component DBMSes: a
+/// declarative SQL interface (queries + short-lived DDL), an EXPLAIN-style
+/// costing interface, and a SQL/MED foreign-table implementation that lets
+/// it read relations living on other servers. It is a black box otherwise —
+/// it plans and executes delegated statements with its *own* optimizer.
+class DatabaseServer : public RelationResolver {
+ public:
+  DatabaseServer(std::string name, EngineProfile profile, Federation* fed);
+
+  const std::string& name() const { return name_; }
+  const EngineProfile& profile() const { return profile_; }
+
+  // --- storage bootstrap (out-of-band; not part of the query interface) ---
+
+  /// Loads a base table and computes its statistics (ANALYZE).
+  Status CreateBaseTable(const std::string& table_name, TablePtr table);
+
+  // --- declarative interface (what XDB and mediators are allowed to use) --
+
+  /// Executes any supported statement; SELECT returns rows, DDL returns an
+  /// empty table.
+  Result<TablePtr> ExecuteSql(const std::string& sql);
+
+  /// Executes a SELECT.
+  Result<TablePtr> ExecuteQuery(const std::string& sql);
+
+  /// Executes a DDL statement (CREATE VIEW / FOREIGN TABLE / TABLE AS,
+  /// DROP ...).
+  Status ExecuteDdl(const std::string& sql);
+
+  /// EXPLAIN: cost and cardinality estimate without executing.
+  Result<ExplainResult> Explain(const std::string& sql);
+
+  /// Schema of a catalogued relation (metadata interface).
+  Result<Schema> DescribeRelation(const std::string& relation);
+
+  /// Row-count estimate for a catalogued relation.
+  Result<double> EstimateRelationRows(const std::string& relation);
+
+  /// True if the relation exists in this server's catalog.
+  bool HasRelation(const std::string& relation) const;
+
+  /// Names of short-lived relations (views/foreign/materialised) — used by
+  /// the delegation engine's cleanup path and by tests.
+  std::vector<std::string> TransientRelations() const;
+
+  /// Names of base tables (the catalog-browsing metadata interface XDB's
+  /// preparation phase uses to build the Global-as-a-View schema).
+  std::vector<std::string> BaseRelations() const;
+
+  /// Full statistics for a base/materialised relation.
+  Result<TableStats> GetRelationStats(const std::string& relation) const;
+
+  // --- server-to-server path (invoked via Federation on foreign scans) ---
+
+  /// Serves `SELECT * FROM relation` to a peer. The federation has already
+  /// pushed a producer trace frame; compute lands there.
+  Result<TablePtr> ServeRemote(const std::string& relation);
+
+  // --- RelationResolver (local names; used by the local planner) ---
+  Result<PlanPtr> Resolve(const std::string& db,
+                          const std::string& table) override;
+
+  /// Plans a SELECT with this server's local optimizer.
+  Result<PlanPtr> PlanQuery(const sql::SelectStmt& stmt);
+
+  /// Modelled local cost of executing a plan (used by Explain).
+  double ModeledPlanCost(const PlanNode& plan) const;
+
+ private:
+  enum class EntryKind { kBase, kMaterialized, kView, kForeign };
+
+  struct CatalogEntry {
+    EntryKind kind = EntryKind::kBase;
+    TablePtr table;          // kBase / kMaterialized
+    TableStats stats;        // kBase / kMaterialized
+    sql::SelectPtr view_def; // kView
+    std::string server;           // kForeign: remote DBMS
+    std::string remote_relation;  // kForeign
+    Schema cached_schema;    // kView / kForeign (lazily filled)
+    bool schema_cached = false;
+  };
+
+  /// ExecContext wired to this server + the federation's trace stack.
+  class Context : public ExecContext {
+   public:
+    explicit Context(DatabaseServer* server) : server_(server) {}
+    Result<TablePtr> GetLocalTable(const std::string& table) override;
+    Result<TablePtr> ForeignFetch(const std::string& server,
+                                  const std::string& relation) override;
+    ComputeTrace* trace() override;
+
+   private:
+    DatabaseServer* server_;
+  };
+
+  Result<TablePtr> ExecutePlanHere(const PlanNode& plan);
+  Status ExecuteParsed(const sql::Statement& stmt, TablePtr* out);
+
+  std::string name_;
+  EngineProfile profile_;
+  Federation* fed_;
+  std::map<std::string, CatalogEntry> catalog_;
+  bool materializing_ = false;  // inside CREATE TABLE AS (marks fetches)
+
+  friend class Context;
+};
+
+}  // namespace xdb

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/plan/plan.h"
+#include "src/types/table.h"
+
+namespace xdb {
+
+/// \brief Row-flow counters recorded while a plan executes.
+///
+/// These feed the timing model: modelled compute time is a weighted sum of
+/// these counters under the executing DBMS's engine profile (DESIGN.md §5).
+struct ComputeTrace {
+  double scan_rows = 0;         // rows produced by local scans
+  double foreign_rows = 0;      // rows fetched through foreign tables
+  double filter_input_rows = 0;
+  double project_rows = 0;
+  double join_build_rows = 0;
+  double join_probe_rows = 0;
+  double join_output_rows = 0;
+  double agg_input_rows = 0;
+  double agg_output_rows = 0;
+  double sort_rows = 0;
+  double materialized_rows = 0;  // rows written by explicit materialisation
+  double output_rows = 0;        // final result rows
+
+  void Add(const ComputeTrace& other);
+
+  /// Total of all row counters; a coarse work measure used in tests.
+  double TotalRows() const;
+};
+
+/// \brief Services a plan needs at execution time.
+///
+/// A DatabaseServer implements this: local tables resolve against its
+/// storage, and foreign fetches go through the (simulated) network to the
+/// remote server — the SQL/MED wrapper path.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  /// Resolves a local base/materialised relation by name.
+  virtual Result<TablePtr> GetLocalTable(const std::string& name) = 0;
+
+  /// Fetches `SELECT * FROM relation` from a remote server (foreign scan).
+  virtual Result<TablePtr> ForeignFetch(const std::string& server,
+                                        const std::string& relation) = 0;
+
+  /// Row-flow counters for this execution.
+  virtual ComputeTrace* trace() = 0;
+};
+
+/// \brief Executes a fully bound logical plan, materialising each operator.
+///
+/// Pipelining is modelled in the timing layer, not here: materialising
+/// per-operator keeps the executor simple and does not change row/byte
+/// accounting, which is what the reproduction's metrics derive from.
+Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace xdb

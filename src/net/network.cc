@@ -1,0 +1,94 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+namespace xdb {
+
+namespace {
+constexpr double kGigabit = 125e6;    // bytes/sec
+constexpr double kFiftyMbit = 6.25e6;
+constexpr double kHundredMbit = 12.5e6;
+}  // namespace
+
+void Network::AddNode(const std::string& name) {
+  if (!HasNode(name)) nodes_.push_back(name);
+}
+
+bool Network::HasNode(const std::string& name) const {
+  return std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end();
+}
+
+void Network::SetLink(const std::string& a, const std::string& b,
+                      LinkProps props) {
+  links_[Key(a, b)] = props;
+}
+
+LinkProps Network::GetLink(const std::string& a,
+                           const std::string& b) const {
+  auto it = links_.find(Key(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void Network::BlockLink(const std::string& a, const std::string& b) {
+  blocked_.insert(Key(a, b));
+}
+
+void Network::UnblockLink(const std::string& a, const std::string& b) {
+  blocked_.erase(Key(a, b));
+}
+
+bool Network::IsReachable(const std::string& a, const std::string& b) const {
+  if (a == b) return true;
+  return blocked_.count(Key(a, b)) == 0;
+}
+
+void Network::RecordTransfer(const std::string& src, const std::string& dst,
+                             double bytes, uint64_t messages) {
+  LinkStats& s = stats_[{src, dst}];
+  s.bytes += bytes;
+  s.messages += messages;
+}
+
+double Network::TotalBytes() const {
+  double total = 0;
+  for (const auto& [k, s] : stats_) total += s.bytes;
+  return total;
+}
+
+double Network::BytesInvolving(const std::string& node) const {
+  double total = 0;
+  for (const auto& [k, s] : stats_) {
+    if (k.first == node || k.second == node) total += s.bytes;
+  }
+  return total;
+}
+
+Network Network::Lan(const std::vector<std::string>& nodes) {
+  Network net;
+  net.SetDefaultLink({kGigabit, 0.0001});
+  for (const auto& n : nodes) net.AddNode(n);
+  return net;
+}
+
+Network Network::OnPremiseWithCloud(const std::vector<std::string>& nodes,
+                                    const std::string& cloud_node) {
+  Network net;
+  net.SetDefaultLink({kGigabit, 0.0001});
+  for (const auto& n : nodes) net.AddNode(n);
+  net.AddNode(cloud_node);
+  for (const auto& n : nodes) {
+    if (n != cloud_node) net.SetLink(n, cloud_node, {kFiftyMbit, 0.020});
+  }
+  return net;
+}
+
+Network Network::GeoDistributed(const std::vector<std::string>& nodes,
+                                const std::string& cloud_node) {
+  Network net;
+  net.SetDefaultLink({kHundredMbit, 0.040});
+  for (const auto& n : nodes) net.AddNode(n);
+  net.AddNode(cloud_node);
+  return net;
+}
+
+}  // namespace xdb

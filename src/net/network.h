@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xdb {
+
+/// \brief Physical properties of a (bidirectional) link.
+struct LinkProps {
+  double bandwidth = 125e6;  // bytes/second (default: 1 Gbit)
+  double latency = 0.0001;   // seconds one-way (default: LAN)
+};
+
+/// \brief Accumulated traffic over a directed link.
+struct LinkStats {
+  double bytes = 0;
+  uint64_t messages = 0;
+};
+
+/// \brief Simulated network between DBMS nodes (and a cloud/mediator node).
+///
+/// The network does two things: (1) byte/message accounting per directed
+/// (src,dst) pair — this is the ground truth behind the paper's Figure 14
+/// data-transfer experiment (the paper reads Docker's network statistics;
+/// we read these counters); and (2) it supplies link properties to the
+/// timing model. It never sleeps or blocks — time is modelled, not spent.
+class Network {
+ public:
+  /// Registers a node; links to other nodes use the default props unless
+  /// overridden by SetLink.
+  void AddNode(const std::string& name);
+
+  bool HasNode(const std::string& name) const;
+
+  void SetDefaultLink(LinkProps props) { default_link_ = props; }
+
+  /// Sets (symmetric) properties for a specific pair.
+  void SetLink(const std::string& a, const std::string& b, LinkProps props);
+
+  LinkProps GetLink(const std::string& a, const std::string& b) const;
+
+  /// Marks a pair as unreachable (no direct connectivity — e.g. firewalled
+  /// departments). XDB's annotator restricts placement candidates to
+  /// reachable DBMSes (the paper's "constraining the possible values of
+  /// set A depending on the network", Section IV-B).
+  void BlockLink(const std::string& a, const std::string& b);
+  void UnblockLink(const std::string& a, const std::string& b);
+
+  /// True unless the pair was blocked. Same-node is always reachable.
+  bool IsReachable(const std::string& a, const std::string& b) const;
+
+  /// Records a directed transfer.
+  void RecordTransfer(const std::string& src, const std::string& dst,
+                      double bytes, uint64_t messages = 1);
+
+  /// Traffic counters per directed pair.
+  const std::map<std::pair<std::string, std::string>, LinkStats>& stats()
+      const {
+    return stats_;
+  }
+
+  double TotalBytes() const;
+
+  /// Bytes on links where `node` is source or destination.
+  double BytesInvolving(const std::string& node) const;
+
+  void ResetStats() { stats_.clear(); }
+
+  // --- topology presets (see DESIGN.md §1) ---
+
+  /// Single-cluster LAN: every link 1 Gbit / 0.1 ms (the paper's testbed).
+  static Network Lan(const std::vector<std::string>& nodes);
+
+  /// On-premise DBMSes + a managed-cloud node: DBMS-DBMS links are LAN,
+  /// links to `cloud_node` are a 50 Mbit / 20 ms WAN uplink.
+  static Network OnPremiseWithCloud(const std::vector<std::string>& nodes,
+                                    const std::string& cloud_node);
+
+  /// Geo-distributed DBMSes (different data centers): all links
+  /// 100 Mbit / 40 ms, including to the cloud node.
+  static Network GeoDistributed(const std::vector<std::string>& nodes,
+                                const std::string& cloud_node);
+
+ private:
+  static std::pair<std::string, std::string> Key(const std::string& a,
+                                                 const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::vector<std::string> nodes_;
+  LinkProps default_link_;
+  std::map<std::pair<std::string, std::string>, LinkProps> links_;
+  std::set<std::pair<std::string, std::string>> blocked_;
+  std::map<std::pair<std::string, std::string>, LinkStats> stats_;
+};
+
+}  // namespace xdb

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/plan/plan.h"
+
+namespace xdb {
+
+/// \brief Estimated properties of a plan node's output.
+struct PlanEstimate {
+  double rows = 0;
+  double row_width = 64.0;  // average serialized bytes per row
+  std::vector<ColumnStats> columns;
+
+  double bytes() const { return rows * row_width; }
+};
+
+/// \brief Textbook System-R-style cardinality estimation.
+///
+/// Selectivities: equality 1/ndv, range by min/max interpolation, LIKE 0.1,
+/// IN-list n/ndv, conjunction multiplies, disjunction adds (capped). Joins
+/// use |L||R| / max(ndv_l, ndv_r) per key pair. Aggregates cap at the
+/// product of group-key NDVs. Placeholders carry their producer's estimate.
+class Estimator {
+ public:
+  /// Estimates the whole subtree rooted at `node` (recursive, no caching;
+  /// plans here are small).
+  PlanEstimate Estimate(const PlanNode& node) const;
+
+  /// Selectivity of a bound predicate against input column stats.
+  double Selectivity(const Expr& predicate, const PlanEstimate& input) const;
+};
+
+}  // namespace xdb

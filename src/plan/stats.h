@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/types/table.h"
+
+namespace xdb {
+
+/// \brief Per-column statistics used by the cardinality estimator.
+struct ColumnStats {
+  double ndv = 1000.0;   // number of distinct values (estimate)
+  Value min = Value::Null(TypeId::kInt64);
+  Value max = Value::Null(TypeId::kInt64);
+  double avg_width = 8.0;  // average serialized width in bytes
+
+  bool has_min_max() const { return !min.is_null() && !max.is_null(); }
+};
+
+/// \brief Per-relation statistics.
+struct TableStats {
+  double row_count = 0;
+  std::vector<ColumnStats> columns;  // aligned with the relation's schema
+
+  double avg_row_width() const {
+    double w = 0;
+    for (const auto& c : columns) w += c.avg_width;
+    return w > 0 ? w : 64.0;
+  }
+};
+
+/// \brief Scans a table once and computes exact min/max/ndv/width stats.
+///
+/// This is the "ANALYZE" of the simulated DBMS: the statistics every
+/// component DBMS exposes through its declarative interface (and which XDB
+/// gathers in its preparation phase through the connectors).
+TableStats ComputeTableStats(const Table& table);
+
+}  // namespace xdb

@@ -1,0 +1,54 @@
+#include "src/sql/ast.h"
+
+namespace xdb {
+namespace sql {
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  if (select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select_list[i]->ToSql();
+      if (!select_list[i]->alias.empty()) {
+        out += " AS " + select_list[i]->alias;
+      }
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (from[i].subquery) {
+      out += "(" + from[i].subquery->ToSql() + ") AS " + from[i].alias;
+      continue;
+    }
+    if (!from[i].db.empty()) out += from[i].db + ".";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += " AS " + from[i].alias;
+    }
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToSql();
+    }
+  }
+  if (having) out += " HAVING " + having->ToSql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToSql();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace xdb

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace xdb {
+namespace sql {
+
+struct SelectStmt;
+using SelectPtr = std::shared_ptr<SelectStmt>;
+
+/// \brief A FROM-clause item: `[db.]table [AS alias]` or a derived table
+/// `(SELECT ...) AS alias`.
+struct TableRef {
+  std::string db;     // optional database qualifier (cross-database queries)
+  std::string table;  // relation name (empty for derived tables)
+  std::string alias;  // defaults to `table` when empty; required for
+                      // derived tables
+  SelectPtr subquery; // non-null for derived tables
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// \brief ORDER BY item.
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// \brief A parsed SELECT statement (possibly `SELECT *`).
+struct SelectStmt {
+  bool select_star = false;
+  std::vector<ExprPtr> select_list;  // empty when select_star
+  std::vector<TableRef> from;
+  ExprPtr where;                     // null when absent; conjunctions intact
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                    // null when absent
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;                // -1 means no LIMIT
+
+  /// Renders back to (dialect-neutral) SQL; used in tests and logging.
+  std::string ToSql() const;
+};
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kCreateView,
+  kCreateForeignTable,
+  kCreateTableAs,
+  kDrop,
+  kExplain,
+};
+
+enum class RelationKind : uint8_t { kTable, kView, kForeignTable };
+
+/// \brief Any parsed statement. A single struct keeps the DBMS session's
+/// dispatch trivial; only fields relevant to `kind` are populated.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+
+  SelectPtr select;  // kSelect / kExplain / kCreateView / kCreateTableAs
+
+  // CREATE VIEW / CREATE TABLE AS / CREATE FOREIGN TABLE / DROP
+  std::string relation_name;
+  RelationKind relation_kind = RelationKind::kTable;  // for DROP
+  bool if_exists = false;
+
+  // CREATE FOREIGN TABLE
+  std::vector<std::string> column_names;  // optional; inferred when empty
+  std::string server;                     // remote DBMS name
+  std::string remote_relation;            // OPTIONS(table '<name>'); defaults
+                                          // to relation_name when empty
+};
+
+using StatementPtr = std::shared_ptr<Statement>;
+
+}  // namespace sql
+}  // namespace xdb

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <set>
+
+#include "src/dbms/federation.h"
+#include "src/dbms/run_trace.h"
+
+namespace xdb {
+
+/// \brief Modelled execution time of a recorded run (DESIGN.md §5).
+struct TimingBreakdown {
+  double total = 0;           // modelled end-to-end seconds
+  double compute_only = 0;    // same run with a free network ("localized"
+                              // tables, the paper's white bars)
+  double transfer_share = 0;  // total - compute_only (the shaded µ fraction)
+};
+
+/// \brief Options for the hybrid timing model.
+struct TimingOptions {
+  /// Row/byte counters are multiplied by this factor before costing: the
+  /// run executes at laptop scale but is costed at paper scale (the local
+  /// SF -> paper SF mapping in DESIGN.md §1).
+  double scale_up = 1.0;
+};
+
+/// \brief Converts a RunTrace into modelled seconds.
+///
+/// Compute: each trace frame (one delegated query on one DBMS) is a
+/// weighted sum of its row counters under that DBMS's engine profile, with
+/// Amdahl scaling for engines with intra-query parallelism, plus the
+/// engine's per-query startup.
+///
+/// Transfer: each inter-DBMS edge costs volume/bandwidth plus per-batch
+/// latency on the (src,dst) link.
+///
+/// Composition over the transfer tree: finish(t) = producer-compute(t) +
+/// max over t's nested fetches of arrival(child); arrival of an implicit
+/// (pipelined) edge overlaps production and shipping — max(finish,
+/// transfer) — while an explicit edge serialises finish + transfer +
+/// materialisation.
+class TimingModel {
+ public:
+  TimingModel(const Federation* fed, TimingOptions options = {})
+      : fed_(fed), options_(options) {}
+
+  TimingBreakdown ModelRun(const RunTrace& trace) const;
+
+  /// The paper's "localized tables" estimate for MW systems: only the
+  /// mediator's own compute, as if every subquery result were preloaded
+  /// into mediator-local tables (no source work, no wire, no ingestion).
+  double LocalizedCompute(const RunTrace& trace) const;
+
+  /// Modelled seconds of one frame's compute under `profile`.
+  double ComputeSeconds(const ComputeTrace& t, const EngineProfile& profile,
+                        bool free_network) const;
+
+  /// Modelled seconds on the wire for one transfer record.
+  double TransferSeconds(const TransferRecord& rec) const;
+
+ private:
+  /// `path` holds the record ids on the current recursion stack; a
+  /// prerequisite already being accounted upstream is skipped (transfer
+  /// chains that bounce between two servers would otherwise cycle).
+  double Finish(const RunTrace& trace, int record_id,
+                const ComputeTrace& compute, const std::string& server,
+                bool free_network, std::set<int>* path) const;
+
+  const Federation* fed_;
+  TimingOptions options_;
+};
+
+}  // namespace xdb

@@ -1,0 +1,304 @@
+#include "src/tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xdb {
+namespace tpch {
+
+namespace {
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+
+// The 25 TPC-H nations with their region assignment.
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},     {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},      {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},      {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},   {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},       {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},     {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},       {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},     {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"};
+
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+
+const char* kColors[10] = {"green", "blue", "red",    "ivory",  "khaki",
+                           "lace",  "lemon", "linen", "magenta", "maroon"};
+
+const char* kPartNouns[8] = {"widget", "gear", "bolt", "spring",
+                             "flange", "rivet", "axle", "bracket"};
+
+const char* kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                            "LARGE", "ECONOMY", "PROMO"};
+const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                            "BRUSHED"};
+const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* kModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                         "FOB"};
+
+const int64_t kStartDate = 8035;   // 1992-01-01 in days since epoch
+const int64_t kEndDate = 10591;    // 1998-12-31
+const int64_t kLastOrderDate = 10440;  // ~1998-08-02
+
+}  // namespace
+
+DbGen::DbGen(double scale_factor, uint64_t seed)
+    : sf_(scale_factor), seed_(seed) {
+  auto scaled = [&](double base, int64_t min_rows) {
+    return std::max<int64_t>(min_rows,
+                             static_cast<int64_t>(std::llround(base * sf_)));
+  };
+  suppliers_ = scaled(10000, 10);
+  customers_ = scaled(150000, 30);
+  parts_ = scaled(200000, 40);
+  orders_ = scaled(1500000, 150);
+}
+
+uint64_t DbGen::Next(uint64_t* state) const {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+int64_t DbGen::Uniform(uint64_t* state, int64_t lo, int64_t hi) const {
+  return lo + static_cast<int64_t>(Next(state) %
+                                   static_cast<uint64_t>(hi - lo + 1));
+}
+
+double DbGen::UniformDouble(uint64_t* state, double lo, double hi) const {
+  return lo + (hi - lo) * (static_cast<double>(Next(state) >> 11) /
+                           static_cast<double>(1ULL << 53));
+}
+
+int64_t DbGen::SuppForPart(int64_t partkey, int64_t j) const {
+  // TPC-H-style spread of a part's four suppliers across the supplier
+  // space. The step is chosen so that j=0..3 always yield four *distinct*
+  // suppliers (j1*step ≢ j2*step mod s), which keeps (ps_partkey,
+  // ps_suppkey) a key even at tiny scale factors.
+  int64_t s = suppliers_;
+  int64_t step = std::max<int64_t>(1, s / 4);
+  while (step % s == 0 || (2 * step) % s == 0 || (3 * step) % s == 0) {
+    ++step;
+  }
+  return (partkey + j * step) % s + 1;
+}
+
+TablePtr DbGen::Region() {
+  auto t = std::make_shared<Table>(
+      Schema({{"r_regionkey", TypeId::kInt64}, {"r_name", TypeId::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    t->AppendRow({Value::Int64(i), Value::String(kRegions[i])});
+  }
+  return t;
+}
+
+TablePtr DbGen::Nation() {
+  auto t = std::make_shared<Table>(Schema({{"n_nationkey", TypeId::kInt64},
+                                           {"n_name", TypeId::kString},
+                                           {"n_regionkey", TypeId::kInt64}}));
+  for (int i = 0; i < 25; ++i) {
+    t->AppendRow({Value::Int64(i), Value::String(kNations[i].name),
+                  Value::Int64(kNations[i].region)});
+  }
+  return t;
+}
+
+TablePtr DbGen::Supplier() {
+  auto t = std::make_shared<Table>(Schema({{"s_suppkey", TypeId::kInt64},
+                                           {"s_name", TypeId::kString},
+                                           {"s_address", TypeId::kString},
+                                           {"s_nationkey", TypeId::kInt64},
+                                           {"s_phone", TypeId::kString},
+                                           {"s_acctbal", TypeId::kDouble}}));
+  uint64_t rng = seed_ ^ 0x5u;
+  for (int64_t i = 1; i <= suppliers_; ++i) {
+    int64_t nation = Uniform(&rng, 0, 24);
+    t->AppendRow({Value::Int64(i),
+                  Value::String("Supplier#" + std::to_string(i)),
+                  Value::String("sa" + std::to_string(i % 1000)),
+                  Value::Int64(nation),
+                  Value::String(std::to_string(10 + nation) + "-555-" +
+                                std::to_string(1000 + i % 9000)),
+                  Value::Double(UniformDouble(&rng, -999.99, 9999.99))});
+  }
+  return t;
+}
+
+TablePtr DbGen::Customer() {
+  auto t = std::make_shared<Table>(
+      Schema({{"c_custkey", TypeId::kInt64},
+              {"c_name", TypeId::kString},
+              {"c_address", TypeId::kString},
+              {"c_nationkey", TypeId::kInt64},
+              {"c_phone", TypeId::kString},
+              {"c_acctbal", TypeId::kDouble},
+              {"c_mktsegment", TypeId::kString}}));
+  uint64_t rng = seed_ ^ 0xCu;
+  for (int64_t i = 1; i <= customers_; ++i) {
+    int64_t nation = Uniform(&rng, 0, 24);
+    t->AppendRow({Value::Int64(i),
+                  Value::String("Customer#" + std::to_string(i)),
+                  Value::String("ca" + std::to_string(i % 1000)),
+                  Value::Int64(nation),
+                  Value::String(std::to_string(10 + nation) + "-555-" +
+                                std::to_string(1000 + i % 9000)),
+                  Value::Double(UniformDouble(&rng, -999.99, 9999.99)),
+                  Value::String(kSegments[Uniform(&rng, 0, 4)])});
+  }
+  return t;
+}
+
+TablePtr DbGen::Part() {
+  auto t = std::make_shared<Table>(
+      Schema({{"p_partkey", TypeId::kInt64},
+              {"p_name", TypeId::kString},
+              {"p_mfgr", TypeId::kString},
+              {"p_brand", TypeId::kString},
+              {"p_type", TypeId::kString},
+              {"p_size", TypeId::kInt64},
+              {"p_retailprice", TypeId::kDouble}}));
+  uint64_t rng = seed_ ^ 0x9u;
+  for (int64_t i = 1; i <= parts_; ++i) {
+    // Two color words per name (TPC-H uses 5 of 92 words; Q9 matches
+    // '%green%' which hits ~1/10 + ~1/10 overlap of parts here).
+    std::string name = std::string(kColors[Uniform(&rng, 0, 9)]) + " " +
+                       kColors[Uniform(&rng, 0, 9)] + " " +
+                       kPartNouns[Uniform(&rng, 0, 7)];
+    int64_t m = Uniform(&rng, 1, 5);
+    std::string type = std::string(kTypeSyl1[Uniform(&rng, 0, 5)]) + " " +
+                       kTypeSyl2[Uniform(&rng, 0, 4)] + " " +
+                       kTypeSyl3[Uniform(&rng, 0, 4)];
+    t->AppendRow({Value::Int64(i), Value::String(std::move(name)),
+                  Value::String("Manufacturer#" + std::to_string(m)),
+                  Value::String("Brand#" + std::to_string(m * 10 +
+                                                          Uniform(&rng, 1,
+                                                                  5))),
+                  Value::String(std::move(type)),
+                  Value::Int64(Uniform(&rng, 1, 50)),
+                  Value::Double(900.0 + static_cast<double>(i % 1000))});
+  }
+  return t;
+}
+
+TablePtr DbGen::PartSupp() {
+  auto t = std::make_shared<Table>(
+      Schema({{"ps_partkey", TypeId::kInt64},
+              {"ps_suppkey", TypeId::kInt64},
+              {"ps_availqty", TypeId::kInt64},
+              {"ps_supplycost", TypeId::kDouble}}));
+  uint64_t rng = seed_ ^ 0x25u;
+  for (int64_t p = 1; p <= parts_; ++p) {
+    for (int64_t j = 0; j < 4; ++j) {
+      t->AppendRow({Value::Int64(p), Value::Int64(SuppForPart(p, j)),
+                    Value::Int64(Uniform(&rng, 1, 9999)),
+                    Value::Double(UniformDouble(&rng, 1.0, 1000.0))});
+    }
+  }
+  return t;
+}
+
+TablePtr DbGen::Orders() {
+  auto t = std::make_shared<Table>(
+      Schema({{"o_orderkey", TypeId::kInt64},
+              {"o_custkey", TypeId::kInt64},
+              {"o_orderstatus", TypeId::kString},
+              {"o_totalprice", TypeId::kDouble},
+              {"o_orderdate", TypeId::kDate},
+              {"o_orderpriority", TypeId::kString},
+              {"o_shippriority", TypeId::kInt64}}));
+  uint64_t rng = seed_ ^ 0x0Fu;
+  for (int64_t i = 1; i <= orders_; ++i) {
+    int64_t date = Uniform(&rng, kStartDate, kLastOrderDate);
+    t->AppendRow({Value::Int64(i),
+                  Value::Int64(Uniform(&rng, 1, customers_)),
+                  Value::String(date + 90 < kLastOrderDate ? "F" : "O"),
+                  Value::Double(UniformDouble(&rng, 1000.0, 400000.0)),
+                  Value::Date(date),
+                  Value::String(kPriorities[Uniform(&rng, 0, 4)]),
+                  Value::Int64(0)});
+  }
+  return t;
+}
+
+TablePtr DbGen::Lineitem() {
+  auto t = std::make_shared<Table>(
+      Schema({{"l_orderkey", TypeId::kInt64},
+              {"l_partkey", TypeId::kInt64},
+              {"l_suppkey", TypeId::kInt64},
+              {"l_linenumber", TypeId::kInt64},
+              {"l_quantity", TypeId::kDouble},
+              {"l_extendedprice", TypeId::kDouble},
+              {"l_discount", TypeId::kDouble},
+              {"l_tax", TypeId::kDouble},
+              {"l_returnflag", TypeId::kString},
+              {"l_linestatus", TypeId::kString},
+              {"l_shipdate", TypeId::kDate},
+              {"l_commitdate", TypeId::kDate},
+              {"l_receiptdate", TypeId::kDate},
+              {"l_shipmode", TypeId::kString}}));
+  // Regenerate order dates with the same stream so line dates stay
+  // consistent with their order.
+  uint64_t order_rng = seed_ ^ 0x0Fu;
+  uint64_t rng = seed_ ^ 0x11u;
+  for (int64_t o = 1; o <= orders_; ++o) {
+    int64_t odate = Uniform(&order_rng, kStartDate, kLastOrderDate);
+    // Skip the other per-order draws to stay aligned with Orders().
+    Uniform(&order_rng, 1, customers_);
+    UniformDouble(&order_rng, 1000.0, 400000.0);
+    Uniform(&order_rng, 0, 4);
+
+    int64_t lines = Uniform(&rng, 1, 7);
+    for (int64_t ln = 1; ln <= lines; ++ln) {
+      int64_t part = Uniform(&rng, 1, parts_);
+      int64_t supp = SuppForPart(part, Uniform(&rng, 0, 3));
+      double qty = static_cast<double>(Uniform(&rng, 1, 50));
+      double price = qty * (900.0 + static_cast<double>(part % 1000)) / 10.0;
+      int64_t shipdate = odate + Uniform(&rng, 1, 121);
+      int64_t commitdate = odate + Uniform(&rng, 30, 90);
+      int64_t receiptdate = shipdate + Uniform(&rng, 1, 30);
+      // ~25% of lines shipped "long ago" get returnflag R (TPC-H: R/A for
+      // received-before-cutoff lines, N otherwise).
+      const char* rf = receiptdate <= 9500 ? (Uniform(&rng, 0, 1) ? "R" : "A")
+                                           : "N";
+      t->AppendRow({Value::Int64(o), Value::Int64(part), Value::Int64(supp),
+                    Value::Int64(ln), Value::Double(qty),
+                    Value::Double(price),
+                    Value::Double(Uniform(&rng, 0, 10) / 100.0),
+                    Value::Double(Uniform(&rng, 0, 8) / 100.0),
+                    Value::String(rf),
+                    Value::String(shipdate > 9500 ? "O" : "F"),
+                    Value::Date(shipdate), Value::Date(commitdate),
+                    Value::Date(receiptdate),
+                    Value::String(kModes[Uniform(&rng, 0, 6)])});
+    }
+  }
+  (void)kEndDate;
+  return t;
+}
+
+std::map<std::string, TablePtr> DbGen::GenerateAll() {
+  return {
+      {"region", Region()},     {"nation", Nation()},
+      {"supplier", Supplier()}, {"customer", Customer()},
+      {"part", Part()},         {"partsupp", PartSupp()},
+      {"orders", Orders()},     {"lineitem", Lineitem()},
+  };
+}
+
+}  // namespace tpch
+}  // namespace xdb

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/types/table.h"
+
+namespace xdb {
+namespace tpch {
+
+/// \brief Deterministic TPC-H-style data generator.
+///
+/// Reproduces the benchmark's schema (minus the free-text *_comment
+/// columns, which no evaluation query touches — DESIGN.md §1), its relative
+/// cardinalities (lineitem ≈ 6M·SF, orders = 1.5M·SF, ...), and the value
+/// distributions that drive the evaluation queries' selectivities:
+/// mktsegment (5 values, Q3), region/nation names (Q5/Q7/Q8/Q9), order and
+/// ship dates over 1992–1998 (Q3/Q5/Q7/Q8/Q10), part types and colored part
+/// names (Q8/Q9), return flags (Q10), and the partsupp supplier formula
+/// that keeps lineitem.(l_partkey,l_suppkey) referentially valid (Q9).
+///
+/// Generation is seeded and reproducible; the same SF always yields the
+/// same tables.
+class DbGen {
+ public:
+  explicit DbGen(double scale_factor, uint64_t seed = 19920101);
+
+  /// Generates all eight tables keyed by lowercase TPC-H table name.
+  std::map<std::string, TablePtr> GenerateAll();
+
+  TablePtr Region();
+  TablePtr Nation();
+  TablePtr Supplier();
+  TablePtr Customer();
+  TablePtr Part();
+  TablePtr PartSupp();
+  TablePtr Orders();
+  TablePtr Lineitem();
+
+  int64_t num_suppliers() const { return suppliers_; }
+  int64_t num_customers() const { return customers_; }
+  int64_t num_parts() const { return parts_; }
+  int64_t num_orders() const { return orders_; }
+
+ private:
+  /// xorshift-based per-stream deterministic PRNG.
+  uint64_t Next(uint64_t* state) const;
+  int64_t Uniform(uint64_t* state, int64_t lo, int64_t hi) const;
+  double UniformDouble(uint64_t* state, double lo, double hi) const;
+
+  /// The j-th (0..3) supplier of part p (TPC-H partsupp formula).
+  int64_t SuppForPart(int64_t partkey, int64_t j) const;
+
+  double sf_;
+  uint64_t seed_;
+  int64_t suppliers_;
+  int64_t customers_;
+  int64_t parts_;
+  int64_t orders_;
+};
+
+}  // namespace tpch
+}  // namespace xdb

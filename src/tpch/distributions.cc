@@ -1,0 +1,82 @@
+#include "src/tpch/distributions.h"
+
+#include <cassert>
+
+#include "src/dbms/server.h"
+
+namespace xdb {
+namespace tpch {
+
+TableDistribution TD1() {
+  return {{"lineitem", "db1"}, {"customer", "db2"}, {"orders", "db2"},
+          {"supplier", "db3"}, {"nation", "db3"},   {"region", "db3"},
+          {"part", "db4"},     {"partsupp", "db4"}};
+}
+
+TableDistribution TD2() {
+  return {{"lineitem", "db1"}, {"supplier", "db1"}, {"orders", "db2"},
+          {"nation", "db2"},   {"region", "db2"},   {"customer", "db3"},
+          {"part", "db4"},     {"partsupp", "db4"}};
+}
+
+TableDistribution TD3() {
+  return {{"lineitem", "db1"}, {"orders", "db2"}, {"supplier", "db3"},
+          {"partsupp", "db4"}, {"customer", "db5"}, {"part", "db6"},
+          {"nation", "db7"},   {"region", "db7"}};
+}
+
+TableDistribution DistributionByIndex(int td) {
+  switch (td) {
+    case 1:
+      return TD1();
+    case 2:
+      return TD2();
+    case 3:
+      return TD3();
+    default:
+      assert(false && "table distribution index must be 1..3");
+      return TD1();
+  }
+}
+
+std::vector<std::string> TpchNodes() {
+  return {"db1", "db2", "db3", "db4", "db5", "db6", "db7"};
+}
+
+EngineAssignment AllPostgres() {
+  EngineAssignment out;
+  for (const auto& n : TpchNodes()) out[n] = EngineProfile::Postgres();
+  return out;
+}
+
+EngineAssignment HeterogeneousAssignment() {
+  EngineAssignment out = AllPostgres();
+  out["db2"] = EngineProfile::MariaDb();
+  out["db3"] = EngineProfile::Hive();
+  return out;
+}
+
+std::unique_ptr<Federation> BuildTpchFederation(
+    double scale_factor, const TableDistribution& td,
+    const EngineAssignment& engines) {
+  auto fed = std::make_unique<Federation>();
+  for (const auto& node : TpchNodes()) {
+    auto it = engines.find(node);
+    fed->AddServer(node, it != engines.end() ? it->second
+                                             : EngineProfile::Postgres());
+  }
+  fed->SetNetwork(Network::Lan(TpchNodes()));
+
+  DbGen gen(scale_factor);
+  for (auto& [table, data] : gen.GenerateAll()) {
+    auto it = td.find(table);
+    assert(it != td.end() && "distribution must place every table");
+    Status st = fed->GetServer(it->second)->CreateBaseTable(table, data);
+    assert(st.ok());
+    (void)st;
+  }
+  return fed;
+}
+
+}  // namespace tpch
+}  // namespace xdb

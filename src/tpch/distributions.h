@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dbms/federation.h"
+#include "src/tpch/dbgen.h"
+
+namespace xdb {
+namespace tpch {
+
+/// \brief A table distribution: TPC-H table -> DBMS node (paper Table III).
+using TableDistribution = std::map<std::string, std::string>;
+
+/// TD1: db1={l}, db2={c,o}, db3={s,n,r}, db4={p,ps}.
+TableDistribution TD1();
+/// TD2: db1={l,s}, db2={o,n,r}, db3={c}, db4={p,ps}.
+TableDistribution TD2();
+/// TD3: db1={l}, db2={o}, db3={s}, db4={ps}, db5={c}, db6={p}, db7={n,r}.
+TableDistribution TD3();
+
+/// Distribution by index 1..3.
+TableDistribution DistributionByIndex(int td);
+
+/// \brief Per-node engine assignment; defaults to PostgreSQL everywhere.
+/// The heterogeneous experiment (paper Figure 10) uses MariaDB for db2 and
+/// Hive for db3.
+using EngineAssignment = std::map<std::string, EngineProfile>;
+
+EngineAssignment AllPostgres();
+EngineAssignment HeterogeneousAssignment();
+
+/// \brief Builds a federation with seven DBMS nodes (db1..db7), loads the
+/// generated TPC-H tables according to `td`, and wires a LAN network (the
+/// paper's single-cluster testbed). The caller may replace the network with
+/// another topology afterwards (the Figure 14 scenarios).
+std::unique_ptr<Federation> BuildTpchFederation(
+    double scale_factor, const TableDistribution& td,
+    const EngineAssignment& engines = AllPostgres());
+
+/// All seven node names.
+std::vector<std::string> TpchNodes();
+
+}  // namespace tpch
+}  // namespace xdb

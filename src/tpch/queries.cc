@@ -1,0 +1,118 @@
+#include "src/tpch/queries.h"
+
+namespace xdb {
+namespace tpch {
+
+const std::vector<TpchQuery>& EvaluationQueries() {
+  static const std::vector<TpchQuery> kQueries = {
+      {"Q3", 3,
+       "SELECT l.l_orderkey, "
+       "       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, "
+       "       o.o_orderdate, o.o_shippriority "
+       "FROM customer c, orders o, lineitem l "
+       "WHERE c.c_mktsegment = 'BUILDING' "
+       "  AND c.c_custkey = o.o_custkey "
+       "  AND l.l_orderkey = o.o_orderkey "
+       "  AND o.o_orderdate < DATE '1995-03-15' "
+       "  AND l.l_shipdate > DATE '1995-03-15' "
+       "GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10"},
+
+      {"Q5", 6,
+       "SELECT n.n_name, "
+       "       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+       "FROM customer c, orders o, lineitem l, supplier s, nation n, "
+       "     region r "
+       "WHERE c.c_custkey = o.o_custkey "
+       "  AND l.l_orderkey = o.o_orderkey "
+       "  AND l.l_suppkey = s.s_suppkey "
+       "  AND c.c_nationkey = s.s_nationkey "
+       "  AND s.s_nationkey = n.n_nationkey "
+       "  AND n.n_regionkey = r.r_regionkey "
+       "  AND r.r_name = 'ASIA' "
+       "  AND o.o_orderdate >= DATE '1994-01-01' "
+       "  AND o.o_orderdate < DATE '1995-01-01' "
+       "GROUP BY n.n_name ORDER BY revenue DESC"},
+
+      {"Q7", 6,
+       "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+       "       EXTRACT(YEAR FROM l.l_shipdate) AS l_year, "
+       "       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+       "FROM supplier s, lineitem l, orders o, customer c, "
+       "     nation n1, nation n2 "
+       "WHERE s.s_suppkey = l.l_suppkey "
+       "  AND o.o_orderkey = l.l_orderkey "
+       "  AND c.c_custkey = o.o_custkey "
+       "  AND s.s_nationkey = n1.n_nationkey "
+       "  AND c.c_nationkey = n2.n_nationkey "
+       "  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+       "    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+       "  AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+       "GROUP BY supp_nation, cust_nation, l_year "
+       "ORDER BY supp_nation, cust_nation, l_year"},
+
+      {"Q8", 8,
+       "SELECT EXTRACT(YEAR FROM o.o_orderdate) AS o_year, "
+       "       SUM(CASE WHEN n2.n_name = 'BRAZIL' "
+       "                THEN l.l_extendedprice * (1 - l.l_discount) "
+       "                ELSE 0 END) "
+       "         / SUM(l.l_extendedprice * (1 - l.l_discount)) "
+       "         AS mkt_share "
+       "FROM part p, supplier s, lineitem l, orders o, customer c, "
+       "     nation n1, nation n2, region r "
+       "WHERE p.p_partkey = l.l_partkey "
+       "  AND s.s_suppkey = l.l_suppkey "
+       "  AND l.l_orderkey = o.o_orderkey "
+       "  AND o.o_custkey = c.c_custkey "
+       "  AND c.c_nationkey = n1.n_nationkey "
+       "  AND n1.n_regionkey = r.r_regionkey "
+       "  AND r.r_name = 'AMERICA' "
+       "  AND s.s_nationkey = n2.n_nationkey "
+       "  AND o.o_orderdate BETWEEN DATE '1995-01-01' "
+       "        AND DATE '1996-12-31' "
+       "  AND p.p_type = 'ECONOMY ANODIZED STEEL' "
+       "GROUP BY o_year ORDER BY o_year"},
+
+      {"Q9", 6,
+       "SELECT n.n_name AS nation, "
+       "       EXTRACT(YEAR FROM o.o_orderdate) AS o_year, "
+       "       SUM(l.l_extendedprice * (1 - l.l_discount) "
+       "           - ps.ps_supplycost * l.l_quantity) AS sum_profit "
+       "FROM part p, supplier s, lineitem l, partsupp ps, orders o, "
+       "     nation n "
+       "WHERE s.s_suppkey = l.l_suppkey "
+       "  AND ps.ps_suppkey = l.l_suppkey "
+       "  AND ps.ps_partkey = l.l_partkey "
+       "  AND p.p_partkey = l.l_partkey "
+       "  AND o.o_orderkey = l.l_orderkey "
+       "  AND s.s_nationkey = n.n_nationkey "
+       "  AND p.p_name LIKE '%green%' "
+       "GROUP BY nation, o_year ORDER BY nation, o_year DESC"},
+
+      {"Q10", 4,
+       "SELECT c.c_custkey, c.c_name, "
+       "       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, "
+       "       c.c_acctbal, n.n_name, c.c_address, c.c_phone "
+       "FROM customer c, orders o, lineitem l, nation n "
+       "WHERE c.c_custkey = o.o_custkey "
+       "  AND l.l_orderkey = o.o_orderkey "
+       "  AND o.o_orderdate >= DATE '1993-10-01' "
+       "  AND o.o_orderdate < DATE '1994-01-01' "
+       "  AND l.l_returnflag = 'R' "
+       "  AND c.c_nationkey = n.n_nationkey "
+       "GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, "
+       "         n.n_name, c.c_address "
+       "ORDER BY revenue DESC LIMIT 20"},
+  };
+  return kQueries;
+}
+
+const TpchQuery* FindQuery(const std::string& id) {
+  for (const auto& q : EvaluationQueries()) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace tpch
+}  // namespace xdb

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xdb {
+namespace tpch {
+
+/// \brief The paper's evaluation queries (Section VI-A): TPC-H Q3 (3-way
+/// join), Q5 (6), Q7 (5, with a nation self-join), Q8 (8, flattened market
+/// share), Q9 (6, profit), Q10 (4). Q8's and Q7's subquery forms are
+/// flattened into single SELECTs (the paper also evaluates them as flat
+/// cross-database join queries).
+struct TpchQuery {
+  std::string id;     // "Q3", ...
+  int num_tables;     // relations in FROM
+  std::string sql;
+};
+
+/// All six evaluation queries, in the paper's order.
+const std::vector<TpchQuery>& EvaluationQueries();
+
+/// Lookup by id ("Q3".."Q10"); returns nullptr when unknown.
+const TpchQuery* FindQuery(const std::string& id);
+
+}  // namespace tpch
+}  // namespace xdb

@@ -1,0 +1,32 @@
+#include "src/types/schema.h"
+
+#include "src/common/str_util.h"
+
+namespace xdb {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields();
+  for (const auto& f : right.fields()) fields.push_back(f);
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += TypeIdToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xdb

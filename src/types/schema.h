@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/types/value.h"
+
+namespace xdb {
+
+/// \brief A named, typed column.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields describing a relation's shape.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Case-insensitive lookup; returns nullopt when absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Concatenation, used for join output schemas.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace xdb

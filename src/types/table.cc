@@ -1,0 +1,58 @@
+#include "src/types/table.h"
+
+#include <algorithm>
+
+namespace xdb {
+
+size_t RowSerializedSize(const Row& row) {
+  size_t n = 0;
+  for (const auto& v : row) n += v.SerializedSize();
+  return n;
+}
+
+size_t Table::SerializedSize() const {
+  size_t n = 0;
+  for (const auto& r : rows_) n += RowSerializedSize(r);
+  return n;
+}
+
+std::string Table::ToDisplayString(size_t max_rows) const {
+  // Compute column widths over header + shown rows.
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<size_t> widths(schema_.num_fields());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.num_fields());
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    out += (c ? " | " : "| ") + pad(schema_.field(c).name, widths[c]);
+  }
+  out += " |\n";
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    out += (c ? "-+-" : "+-") + std::string(widths[c], '-');
+  }
+  out += "-+\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      out += (c ? " | " : "| ") + pad(cells[r][c], widths[c]);
+    }
+    out += " |\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace xdb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace xdb {
+
+/// \brief A row of values; widths match the owning relation's schema.
+using Row = std::vector<Value>;
+
+/// \brief Approximate serialized size of a row (for transfer accounting).
+size_t RowSerializedSize(const Row& row);
+
+/// \brief In-memory relation: a schema plus a vector of rows.
+///
+/// This is the storage substrate for the simulated DBMS nodes. Row store is
+/// deliberate: the paper's experiments are dominated by data movement, not by
+/// local scan micro-performance, and a row layout keeps the foreign-wrapper
+/// streaming path simple.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Total approximate serialized size of all rows.
+  size_t SerializedSize() const;
+
+  /// Renders the first `max_rows` rows as an ASCII table (for examples).
+  std::string ToDisplayString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace xdb

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/connect/connector.h"
+#include "src/xdb/delegation_plan.h"
+
+namespace xdb {
+
+/// \brief The query that XDB hands back to the client (paper Section V):
+/// a plain SELECT on one DBMS whose evaluation triggers the whole in-situ
+/// cascade.
+struct XdbQuery {
+  std::string server;
+  std::string sql;
+};
+
+/// \brief The Delegation Engine: rewrites a delegation plan into a cascade
+/// of views chained with SQL/MED foreign tables (Algorithm 1).
+///
+/// For each task (children first): create foreign tables on the task's DBMS
+/// pointing at the child tasks' views, then create the task's own view from
+/// the deparsed algebraic instruction. Implicit edges are consumed through
+/// the foreign table directly (pipelined); explicit edges materialise the
+/// foreign table into a local table first. All DDL is issued through the
+/// vendor-specific connectors; XDB never touches the data itself.
+class DelegationEngine {
+ public:
+  explicit DelegationEngine(std::map<std::string, DbmsConnector*> connectors)
+      : connectors_(std::move(connectors)) {}
+
+  /// Deploys the plan (mutates it: fills tasks' column_names and rewrites
+  /// placeholder names to the created relations) and returns the XDB query.
+  Result<XdbQuery> Deploy(DelegationPlan* plan);
+
+  /// Drops every short-lived relation Deploy created, in reverse order.
+  Status Cleanup();
+
+  /// Full DDL log of the last Deploy, for inspection/printing — the
+  /// reproduction of the paper's Figure 7.
+  const std::vector<std::pair<std::string, std::string>>& ddl_log() const {
+    return ddl_log_;
+  }
+
+  /// DDL statements issued during the delegation phase (excludes the
+  /// execution-time CTAS prologue).
+  int ddl_count() const { return ddl_count_; }
+
+ private:
+  Status Issue(const std::string& server, const std::string& ddl);
+
+  std::map<std::string, DbmsConnector*> connectors_;
+  std::vector<std::pair<std::string, std::string>> ddl_log_;
+  // (server, relation, kind) in creation order; dropped in reverse.
+  std::vector<std::tuple<std::string, std::string, std::string>> created_;
+  int ddl_count_ = 0;
+};
+
+}  // namespace xdb

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/common/result.h"
+#include "src/xdb/delegation_plan.h"
+
+namespace xdb {
+
+/// \brief The Plan Finalizer (paper Section IV-B-3).
+///
+/// Groups maximal runs of same-annotation operators into tasks: a modified
+/// depth-first post-order traversal cuts the annotated plan wherever a
+/// node's annotation differs from its parent's, inserting a Placeholder
+/// ("?", a dummy input operator) at each cut and emitting a dataflow edge
+/// with the movement type the annotator chose. Fewer tasks mean less
+/// delegation traffic and larger units for the component DBMSes' own
+/// optimizers — grouping is maximal by construction.
+///
+/// `query_id` and `name_prefix` namespace the generated short-lived view
+/// names so queries from different middleware instances (XDB, the mediator
+/// baselines) never collide on the shared DBMSes.
+Result<DelegationPlan> FinalizePlan(const PlanNode& annotated_plan,
+                                    int query_id,
+                                    const std::string& name_prefix = "xdb");
+
+}  // namespace xdb

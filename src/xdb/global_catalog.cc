@@ -1,0 +1,48 @@
+#include "src/xdb/global_catalog.h"
+
+#include "src/common/str_util.h"
+
+namespace xdb {
+
+GlobalCatalog::GlobalCatalog(
+    std::map<std::string, DbmsConnector*> connectors)
+    : connectors_(std::move(connectors)) {
+  for (auto& [server, dc] : connectors_) {
+    for (const auto& table : dc->ListTables()) {
+      TableMeta meta;
+      meta.server = server;
+      tables_[ToLower(table)] = std::move(meta);
+    }
+  }
+}
+
+std::string GlobalCatalog::LocateTable(const std::string& table) const {
+  auto it = tables_.find(ToLower(table));
+  return it != tables_.end() ? it->second.server : "";
+}
+
+Result<PlanPtr> GlobalCatalog::Resolve(const std::string& db,
+                                       const std::string& table) {
+  std::string key = ToLower(table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::CatalogError("table '" + key +
+                                "' not found in the global schema");
+  }
+  TableMeta& meta = it->second;
+  if (!db.empty() && !EqualsIgnoreCase(db, meta.server)) {
+    return Status::CatalogError("table '" + key + "' resides on " +
+                                meta.server + ", not on '" + db + "'");
+  }
+  if (!meta.loaded) {
+    DbmsConnector* dc = connectors_.at(meta.server);
+    XDB_ASSIGN_OR_RETURN(meta.schema, dc->DescribeTable(key));
+    ++metadata_roundtrips_;
+    XDB_ASSIGN_OR_RETURN(meta.stats, dc->FetchStats(key));
+    ++metadata_roundtrips_;
+    meta.loaded = true;
+  }
+  return PlanNode::MakeScan(meta.server, key, key, meta.schema, meta.stats);
+}
+
+}  // namespace xdb

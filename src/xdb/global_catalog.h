@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/connect/connector.h"
+#include "src/plan/planner.h"
+
+namespace xdb {
+
+/// \brief XDB's Global-as-a-View catalog: the union of the component
+/// DBMSes' local schemas (paper Section III).
+///
+/// It doubles as the RelationResolver for XDB's logical optimizer: each
+/// table resolves to a Scan annotated with the DBMS that stores it. Schema
+/// and statistics come from the connectors' metadata interface; fetches are
+/// cached across queries and counted per query, since they are what the
+/// paper's "prep" phase pays for.
+class GlobalCatalog : public RelationResolver {
+ public:
+  /// Discovers all base tables on all connectors (table listing only;
+  /// schemas/stats are fetched lazily per query).
+  explicit GlobalCatalog(std::map<std::string, DbmsConnector*> connectors);
+
+  Result<PlanPtr> Resolve(const std::string& db,
+                          const std::string& table) override;
+
+  /// The DBMS storing `table` (empty when unknown).
+  std::string LocateTable(const std::string& table) const;
+
+  /// Metadata round trips performed since the last reset.
+  int metadata_roundtrips() const { return metadata_roundtrips_; }
+  void ResetCounters() { metadata_roundtrips_ = 0; }
+
+ private:
+  struct TableMeta {
+    std::string server;
+    Schema schema;
+    TableStats stats;
+    bool loaded = false;
+  };
+
+  std::map<std::string, DbmsConnector*> connectors_;
+  std::map<std::string, TableMeta> tables_;  // global table name -> meta
+  int metadata_roundtrips_ = 0;
+};
+
+}  // namespace xdb

@@ -1,0 +1,153 @@
+#include "src/xdb/xdb.h"
+
+#include <chrono>
+
+#include "src/sql/parser.h"
+#include "src/xdb/annotator.h"
+#include "src/xdb/finalizer.h"
+
+namespace xdb {
+
+namespace {
+
+Dialect DialectForVendor(const std::string& vendor) {
+  if (vendor == "mariadb") return Dialect::MariaDb();
+  if (vendor == "hive") return Dialect::Hive();
+  return Dialect::Postgres();
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+XdbSystem::XdbSystem(Federation* fed, XdbOptions options)
+    : fed_(fed), options_(std::move(options)) {
+  fed_->network().AddNode(options_.middleware_node);
+  for (const auto& name : fed_->ServerNames()) {
+    DatabaseServer* server = fed_->GetServer(name);
+    auto dc = std::make_unique<DbmsConnector>(
+        server, DialectForVendor(server->profile().vendor), fed_,
+        options_.middleware_node);
+    connector_ptrs_[name] = dc.get();
+    connectors_[name] = std::move(dc);
+  }
+  catalog_ = std::make_unique<GlobalCatalog>(connector_ptrs_);
+}
+
+DbmsConnector* XdbSystem::connector(const std::string& server) const {
+  auto it = connector_ptrs_.find(server);
+  return it != connector_ptrs_.end() ? it->second : nullptr;
+}
+
+double XdbSystem::Rtt(const std::string& server) const {
+  LinkProps link =
+      fed_->network().GetLink(options_.middleware_node, server);
+  return 2.0 * link.latency;
+}
+
+Result<XdbReport> XdbSystem::Query(const std::string& sql) {
+  XdbReport report;
+  const double wall_start = NowSeconds();
+  const int query_id = ++query_counter_;
+
+  catalog_->ResetCounters();
+  for (auto& [name, dc] : connector_ptrs_) dc->ResetCounters();
+
+  // --- Preparation: parse/analyze + gather metadata via connectors. ---
+  XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
+  double prep_rtt = 0;
+  // Touch every referenced base table (recursing into derived tables) so
+  // schema + statistics are fetched through the owning DBMS's connector
+  // (cached across queries).
+  std::function<Status(const sql::SelectStmt&)> touch =
+      [&](const sql::SelectStmt& sel) -> Status {
+    for (const auto& ref : sel.from) {
+      if (ref.subquery) {
+        XDB_RETURN_NOT_OK(touch(*ref.subquery));
+        continue;
+      }
+      XDB_RETURN_NOT_OK(catalog_->Resolve(ref.db, ref.table).status());
+      std::string server = catalog_->LocateTable(ref.table);
+      if (!server.empty()) prep_rtt += Rtt(server);
+    }
+    return Status::OK();
+  };
+  XDB_RETURN_NOT_OK(touch(*stmt));
+  report.metadata_roundtrips = catalog_->metadata_roundtrips();
+  report.phases.prep =
+      options_.parse_analyze_cost +
+      report.metadata_roundtrips * options_.metadata_roundtrip_cost +
+      prep_rtt;
+
+  // --- Logical optimization (pushdowns + left-deep join ordering). ---
+  Planner planner(catalog_.get(), options_.planner);
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, planner.Plan(*stmt));
+  size_t njoins = stmt->from.size() > 0 ? stmt->from.size() - 1 : 0;
+  report.phases.lopt = options_.lopt_base_cost +
+                       options_.lopt_per_join_cost *
+                           static_cast<double>(njoins);
+
+  // --- Plan annotation (consulting) + finalization. ---
+  Annotator annotator(connector_ptrs_, &fed_->network(),
+                      static_cast<MovementPolicy>(options_.movement_policy));
+  XDB_RETURN_NOT_OK(annotator.Annotate(plan.get()));
+  report.consultations = annotator.consultations();
+  double ann_rtt = 0;
+  // Each consultation is one round trip to one of the two candidate DBMSes;
+  // charge the average middleware<->DBMS RTT.
+  for (int i = 0; i < report.consultations; ++i) {
+    ann_rtt += options_.consultation_cost;
+  }
+  report.phases.ann = ann_rtt;
+
+  XDB_ASSIGN_OR_RETURN(DelegationPlan dplan, FinalizePlan(*plan, query_id));
+
+  // --- Delegation + execution (the paper's combined exec phase). ---
+  DelegationEngine engine(connector_ptrs_);
+  fed_->BeginRun(dplan.tasks.back().server);
+  Result<XdbQuery> xdb_query = engine.Deploy(&dplan);
+  if (!xdb_query.ok()) {
+    fed_->FinishRun();
+    (void)engine.Cleanup();
+    return xdb_query.status();
+  }
+  // The client triggers the in-situ execution with the XDB query.
+  DbmsConnector* root_dc = connector_ptrs_.at(xdb_query->server);
+  Result<TablePtr> result = root_dc->RunQuery(xdb_query->sql);
+  if (!result.ok()) {
+    fed_->FinishRun();
+    (void)engine.Cleanup();
+    return result.status();
+  }
+  // The final result is the only data that leaves the federation.
+  fed_->network().RecordTransfer(xdb_query->server,
+                                 options_.middleware_node,
+                                 static_cast<double>(
+                                     (*result)->SerializedSize()),
+                                 1);
+  report.trace = fed_->FinishRun();
+  report.ddl_statements = engine.ddl_count();
+  report.ddl_log = engine.ddl_log();
+
+  TimingModel model(fed_, TimingOptions{options_.scale_up});
+  report.exec_timing = model.ModelRun(report.trace);
+  report.phases.exec =
+      report.exec_timing.total +
+      report.ddl_statements * options_.ddl_roundtrip_cost;
+
+  report.result = std::move(result).value();
+  report.plan = std::move(dplan);
+  report.xdb_query = *xdb_query;
+
+  if (options_.cleanup_after_query) {
+    XDB_RETURN_NOT_OK(engine.Cleanup());
+  }
+  report.wall_seconds = NowSeconds() - wall_start;
+  return report;
+}
+
+}  // namespace xdb

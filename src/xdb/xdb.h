@@ -1,0 +1,107 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/connect/connector.h"
+#include "src/timing/timing_model.h"
+#include "src/xdb/delegation_engine.h"
+#include "src/xdb/delegation_plan.h"
+#include "src/xdb/global_catalog.h"
+
+namespace xdb {
+
+/// \brief Knobs for the XDB middleware.
+struct XdbOptions {
+  /// Modelled-time scale-up: local rows are costed as if multiplied by this
+  /// factor (local SF -> paper SF mapping; DESIGN.md §1).
+  double scale_up = 1.0;
+
+  /// Network node name hosting the middleware + client (control traffic and
+  /// the final result flow to it).
+  std::string middleware_node = "xdb";
+
+  /// Logical-optimizer switches (for the ablation benches).
+  PlannerOptions planner;
+
+  /// Movement-type decision policy (for the ablation benches).
+  int movement_policy = 0;  // 0 = cost-based, 1 = always implicit,
+                            // 2 = always explicit (MovementPolicy order)
+
+  /// Drop all short-lived relations after each query (on by default; the
+  /// examples switch it off to show the deployed cascade).
+  bool cleanup_after_query = true;
+
+  // Control-plane cost constants (seconds per round trip, on top of link
+  // latency). Calibrated so prep+lopt+ann stays in the paper's <=10 s band.
+  double parse_analyze_cost = 0.05;
+  double metadata_roundtrip_cost = 0.02;
+  double lopt_base_cost = 0.1;
+  double lopt_per_join_cost = 0.05;
+  double consultation_cost = 0.04;   // one EXPLAIN probe on a DBMS
+  double ddl_roundtrip_cost = 0.02;  // one DDL statement
+};
+
+/// \brief Per-phase modelled times, matching the paper's Figure 15 buckets.
+struct PhaseBreakdown {
+  double prep = 0;  // parse/analyze + metadata gathering via connectors
+  double lopt = 0;  // logical optimization
+  double ann = 0;   // plan annotation + finalization (consultations)
+  double exec = 0;  // delegation + decentralized execution
+
+  double total() const { return prep + lopt + ann + exec; }
+};
+
+/// \brief Everything a query run produces, for benches and inspection.
+struct XdbReport {
+  TablePtr result;
+  DelegationPlan plan;
+  XdbQuery xdb_query;
+  std::vector<std::pair<std::string, std::string>> ddl_log;
+  RunTrace trace;
+  TimingBreakdown exec_timing;
+  PhaseBreakdown phases;
+  double wall_seconds = 0;  // real wall-clock of the whole pipeline
+
+  int metadata_roundtrips = 0;
+  int consultations = 0;
+  int ddl_statements = 0;
+
+  double total_seconds() const { return phases.total(); }
+  double transferred_bytes() const { return trace.TotalTransferredBytes(); }
+};
+
+/// \brief The XDB middleware: optimizer + delegation engine over a
+/// federation of autonomous DBMSes (the paper's Figure 4b).
+///
+/// XDB itself has *no execution engine*. Query() optimizes the
+/// cross-database query into a delegation plan, deploys it as views +
+/// foreign tables through the vendor connectors, and triggers the XDB query
+/// on the root DBMS; the component DBMSes then execute the query among
+/// themselves, streaming intermediate data directly.
+class XdbSystem {
+ public:
+  /// Builds connectors (with vendor dialects) for every server in `fed` and
+  /// discovers the Global-as-a-View schema.
+  explicit XdbSystem(Federation* fed, XdbOptions options = {});
+
+  /// Runs a cross-database SQL query end to end.
+  Result<XdbReport> Query(const std::string& sql);
+
+  GlobalCatalog& catalog() { return *catalog_; }
+  DbmsConnector* connector(const std::string& server) const;
+  const XdbOptions& options() const { return options_; }
+
+ private:
+  double Rtt(const std::string& server) const;
+
+  Federation* fed_;
+  XdbOptions options_;
+  std::map<std::string, std::unique_ptr<DbmsConnector>> connectors_;
+  std::map<std::string, DbmsConnector*> connector_ptrs_;
+  std::unique_ptr<GlobalCatalog> catalog_;
+  int query_counter_ = 0;
+};
+
+}  // namespace xdb

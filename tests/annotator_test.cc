@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "src/dbms/federation.h"
+#include "src/dbms/server.h"
+#include "src/xdb/annotator.h"
+#include "src/xdb/finalizer.h"
+
+namespace xdb {
+namespace {
+
+/// Two servers with one table each plus connectors; plans are hand-built so
+/// every rule fires in a controlled way.
+class AnnotatorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fed_.SetNetwork(Network::Lan({"dba", "dbb"}));
+    dba_ = fed_.AddServer("dba", EngineProfile::Postgres());
+    dbb_ = fed_.AddServer("dbb", EngineProfile::Postgres());
+    auto make_table = [](int rows) {
+      auto t = std::make_shared<Table>(
+          Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}));
+      for (int i = 0; i < rows; ++i) {
+        t->AppendRow({Value::Int64(i), Value::Int64(i * 2)});
+      }
+      return t;
+    };
+    ASSERT_TRUE(dba_->CreateBaseTable("ta", make_table(1000)).ok());
+    ASSERT_TRUE(dbb_->CreateBaseTable("tb", make_table(10)).ok());
+    dca_ = std::make_unique<DbmsConnector>(dba_, Dialect::Postgres(), &fed_,
+                                           "xdb");
+    dcb_ = std::make_unique<DbmsConnector>(dbb_, Dialect::Postgres(), &fed_,
+                                           "xdb");
+    connectors_ = {{"dba", dca_.get()}, {"dbb", dcb_.get()}};
+  }
+
+  PlanPtr ScanOn(const std::string& server, const std::string& table,
+                 double rows) {
+    Schema schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}});
+    TableStats stats;
+    stats.row_count = rows;
+    stats.columns.assign(2, ColumnStats{});
+    stats.columns[0].ndv = rows;
+    stats.columns[1].ndv = rows;
+    return PlanNode::MakeScan(server, table, table, schema, stats);
+  }
+
+  Federation fed_;
+  DatabaseServer* dba_ = nullptr;
+  DatabaseServer* dbb_ = nullptr;
+  std::unique_ptr<DbmsConnector> dca_, dcb_;
+  std::map<std::string, DbmsConnector*> connectors_;
+};
+
+TEST_F(AnnotatorFixture, Rule1LeavesGetTheirDbms) {
+  PlanPtr scan = ScanOn("dba", "ta", 1000);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(scan.get()).ok());
+  EXPECT_EQ(scan->annotation, "dba");
+  EXPECT_EQ(ann.consultations(), 0);
+}
+
+TEST_F(AnnotatorFixture, Rule2UnaryInheritsChild) {
+  PlanPtr filter = PlanNode::MakeFilter(
+      ScanOn("dbb", "tb", 10),
+      Expr::Binary(BinaryOp::kGt, Expr::BoundColumn(0, TypeId::kInt64, "k"),
+                   Expr::Literal(Value::Int64(1))));
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(filter.get()).ok());
+  EXPECT_EQ(filter->annotation, "dbb");
+  EXPECT_EQ(filter->children[0]->edge_movement, Movement::kImplicit);
+}
+
+TEST_F(AnnotatorFixture, Rule3SameAnnotationJoinStaysPut) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("dba", "ta", 1000), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  EXPECT_EQ(join->annotation, "dba");
+  EXPECT_EQ(ann.consultations(), 0);  // no consulting for co-located joins
+}
+
+TEST_F(AnnotatorFixture, Rule4PlacementFromInputCandidatesOnly) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  // The pruning rule: placement must be one of the two input DBMSes.
+  EXPECT_TRUE(join->annotation == "dba" || join->annotation == "dbb");
+  // Exactly 4 consultations: 2 placements x 2 movement types.
+  EXPECT_EQ(ann.consultations(), 4);
+}
+
+TEST_F(AnnotatorFixture, Rule4PrefersKeepingTheBigSideLocal) {
+  // Moving 10 rows beats moving 1000 rows; the join should land on dba.
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 100000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  EXPECT_EQ(join->annotation, "dba");
+  // The small remote side moves; the local side's edge is implicit.
+  EXPECT_EQ(join->children[0]->edge_movement, Movement::kImplicit);
+}
+
+TEST_F(AnnotatorFixture, MovementPolicyForced) {
+  for (auto [policy, want] :
+       {std::pair{MovementPolicy::kAlwaysImplicit, Movement::kImplicit},
+        std::pair{MovementPolicy::kAlwaysExplicit, Movement::kExplicit}}) {
+    PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                      ScanOn("dbb", "tb", 10), {0}, {0},
+                                      nullptr);
+    Annotator ann(connectors_, &fed_.network(), policy);
+    ASSERT_TRUE(ann.Annotate(join.get()).ok());
+    // The remote child's edge carries the forced movement.
+    size_t remote = join->children[0]->annotation == join->annotation ? 1
+                                                                      : 0;
+    EXPECT_EQ(join->children[remote]->edge_movement, want);
+    // Forced policies consult half as much (2 candidates x 1 movement).
+    EXPECT_EQ(ann.consultations(), 2);
+  }
+}
+
+TEST_F(AnnotatorFixture, MissingConnectorIsCatalogError) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("nowhere", "tx", 10), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  auto st = ann.Annotate(join.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCatalogError());
+}
+
+TEST_F(AnnotatorFixture, ConsultationsChargeControlMessages) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  double before = fed_.network().TotalBytes();
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  EXPECT_GT(fed_.network().TotalBytes(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Finalizer
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnotatorFixture, FinalizerGroupsMaximalRuns) {
+  // filter(join(scan_a, scan_b)) with the join on dba: the filter and join
+  // and scan_a form ONE task; scan_b forms another.
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 100000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  PlanPtr top = PlanNode::MakeLimit(join, 5);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(top.get()).ok());
+  ASSERT_EQ(top->annotation, "dba");
+
+  auto plan = FinalizePlan(*top, 7);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->tasks.size(), 2u);
+  ASSERT_EQ(plan->edges.size(), 1u);
+  const DelegationTask& producer = plan->tasks[0];
+  const DelegationTask& root = plan->tasks[1];
+  EXPECT_EQ(producer.server, "dbb");
+  EXPECT_EQ(root.server, "dba");
+  // View names are namespaced by the query id.
+  EXPECT_NE(producer.view_name.find("q7"), std::string::npos);
+  // The root task's expression has exactly one placeholder leaf.
+  int placeholders = 0;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kPlaceholder) ++placeholders;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*root.expr);
+  EXPECT_EQ(placeholders, 1);
+}
+
+TEST_F(AnnotatorFixture, FinalizerSingleTaskWhenColocated) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 100),
+                                    ScanOn("dba", "ta", 100), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  auto plan = FinalizePlan(*join, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->tasks.size(), 1u);
+  EXPECT_TRUE(plan->edges.empty());
+}
+
+TEST_F(AnnotatorFixture, FinalizerRejectsUnannotatedPlan) {
+  PlanPtr scan = ScanOn("dba", "ta", 10);
+  auto plan = FinalizePlan(*scan, 1);
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST_F(AnnotatorFixture, FinalizerPropagatesMovementToEdges) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network(),
+                MovementPolicy::kAlwaysExplicit);
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  auto plan = FinalizePlan(*join, 1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->edges.size(), 1u);
+  EXPECT_EQ(plan->edges[0].movement, Movement::kExplicit);
+  // Placeholder of an explicit edge is a local (non-foreign) relation.
+  std::function<const PlanNode*(const PlanNode&)> find_ph =
+      [&](const PlanNode& n) -> const PlanNode* {
+    if (n.kind == PlanKind::kPlaceholder) return &n;
+    for (const auto& c : n.children) {
+      if (const PlanNode* f = find_ph(*c)) return f;
+    }
+    return nullptr;
+  };
+  const PlanNode* ph = find_ph(*plan->root().expr);
+  ASSERT_NE(ph, nullptr);
+  EXPECT_FALSE(ph->placeholder_foreign);
+}
+
+TEST_F(AnnotatorFixture, DelegationPlanToStringMentionsEverything) {
+  PlanPtr join = PlanNode::MakeJoin(ScanOn("dba", "ta", 1000),
+                                    ScanOn("dbb", "tb", 10), {0}, {0},
+                                    nullptr);
+  Annotator ann(connectors_, &fed_.network());
+  ASSERT_TRUE(ann.Annotate(join.get()).ok());
+  auto plan = FinalizePlan(*join, 1);
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("dba"), std::string::npos);
+  EXPECT_NE(s.find("dbb"), std::string::npos);
+  EXPECT_NE(s.find("-->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdb

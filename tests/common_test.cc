@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+#include "src/types/table.h"
+
+namespace xdb {
+namespace {
+
+TEST(StatusTest, OkIsCheapAndEmpty) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.message(), "");
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
+TEST(StatusTest, EveryCodeRoundTrips) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::ParseError("m"), StatusCode::kParseError, "ParseError"},
+      {Status::BindError("m"), StatusCode::kBindError, "BindError"},
+      {Status::CatalogError("m"), StatusCode::kCatalogError,
+       "CatalogError"},
+      {Status::ExecutionError("m"), StatusCode::kExecutionError,
+       "ExecutionError"},
+      {Status::NetworkError("m"), StatusCode::kNetworkError,
+       "NetworkError"},
+      {Status::NotImplemented("m"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+  }
+}
+
+TEST(StatusTest, MacroPropagates) {
+  auto fail = []() -> Status { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    XDB_RETURN_NOT_OK(fail());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().message(), "inner");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Internal("nope");
+  };
+  auto consume = [&](bool ok) -> Result<int> {
+    XDB_ASSIGN_OR_RETURN(int v, produce(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*consume(true), 10);
+  EXPECT_FALSE(consume(false).ok());
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("MiXeD_09"), "mixed_09");
+  EXPECT_EQ(ToUpper("MiXeD_09"), "MIXED_09");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hell"));
+}
+
+TEST(StrUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+TEST(StrUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(1.5 * 1024 * 1024), "1.50 MB");
+}
+
+TEST(TableTest, SerializedSizeSumsValues) {
+  Table t(Schema({{"a", TypeId::kInt64}, {"s", TypeId::kString}}));
+  t.AppendRow({Value::Int64(1), Value::String("abcd")});
+  // 8 (int) + 4 + 4 (string header + bytes).
+  EXPECT_EQ(t.SerializedSize(), 16u);
+  EXPECT_EQ(RowSerializedSize(t.row(0)), 16u);
+}
+
+TEST(TableTest, DisplayTruncatesLongTables) {
+  Table t(Schema({{"a", TypeId::kInt64}}));
+  for (int i = 0; i < 30; ++i) t.AppendRow({Value::Int64(i)});
+  std::string shown = t.ToDisplayString(5);
+  EXPECT_NE(shown.find("25 more rows"), std::string::npos);
+}
+
+TEST(SchemaTest, LookupAndConcat) {
+  Schema a({{"x", TypeId::kInt64}, {"y", TypeId::kString}});
+  Schema b({{"z", TypeId::kDouble}});
+  EXPECT_EQ(*a.IndexOf("Y"), 1u);
+  EXPECT_FALSE(a.IndexOf("nope").has_value());
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_fields(), 3u);
+  EXPECT_EQ(c.field(2).name, "z");
+  EXPECT_EQ(c.ToString(), "(x:int64, y:string, z:double)");
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,214 @@
+// Tests for the two future-work extensions the paper calls out:
+// bushy join trees (footnote 5) and topology-constrained placement
+// (Section IV-B's "constraining the possible values of set A").
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/dbms/server.h"
+#include "src/tpch/distributions.h"
+#include "src/tpch/queries.h"
+#include "src/xdb/xdb.h"
+
+namespace xdb {
+namespace {
+
+int MaxLeftDepth(const PlanNode& node) {
+  if (node.kind == PlanKind::kJoin) {
+    // A bushy node has a join on its right side.
+    std::function<bool(const PlanNode&)> has_join =
+        [&](const PlanNode& n) -> bool {
+      if (n.kind == PlanKind::kJoin) return true;
+      for (const auto& c : n.children) {
+        if (has_join(*c)) return true;
+      }
+      return false;
+    };
+    if (has_join(*node.children[1])) return 1;
+  }
+  int deepest = 0;
+  for (const auto& c : node.children) {
+    deepest = std::max(deepest, MaxLeftDepth(*c));
+  }
+  return deepest;
+}
+
+TEST(BushyJoinsTest, ResultsMatchLeftDeep) {
+  auto fed = tpch::BuildTpchFederation(0.002, tpch::TD1());
+  XdbSystem left_deep(fed.get());
+  XdbOptions bushy_opts;
+  bushy_opts.planner.bushy_joins = true;
+  auto fed2 = tpch::BuildTpchFederation(0.002, tpch::TD1());
+  XdbSystem bushy(fed2.get(), bushy_opts);
+
+  for (const auto& q : tpch::EvaluationQueries()) {
+    auto a = left_deep.Query(q.sql);
+    auto b = bushy.Query(q.sql);
+    ASSERT_TRUE(a.ok()) << q.id << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q.id << b.status().ToString();
+    EXPECT_EQ(a->result->num_rows(), b->result->num_rows()) << q.id;
+  }
+}
+
+TEST(BushyJoinsTest, BushyShapeAppearsWhenProfitable) {
+  // Two independent filtered pairs joined at the top: the bushy optimizer
+  // should join within each pair first.
+  Federation fed;
+  fed.SetNetwork(Network::Lan({"s1", "s2"}));
+  auto* s1 = fed.AddServer("s1", EngineProfile::Postgres());
+  auto* s2 = fed.AddServer("s2", EngineProfile::Postgres());
+  auto make = [](int rows, int ndv) {
+    auto t = std::make_shared<Table>(
+        Schema({{"k", TypeId::kInt64}, {"w", TypeId::kInt64}}));
+    for (int i = 0; i < rows; ++i) {
+      t->AppendRow({Value::Int64(i % ndv), Value::Int64(i)});
+    }
+    return t;
+  };
+  ASSERT_TRUE(s1->CreateBaseTable("a1", make(1000, 100)).ok());
+  ASSERT_TRUE(s1->CreateBaseTable("a2", make(1000, 100)).ok());
+  ASSERT_TRUE(s2->CreateBaseTable("b1", make(1000, 100)).ok());
+  ASSERT_TRUE(s2->CreateBaseTable("b2", make(1000, 100)).ok());
+
+  const char* sql =
+      "SELECT COUNT(*) AS n FROM a1, a2, b1, b2 "
+      "WHERE a1.k = a2.k AND b1.k = b2.k AND a1.w = b1.w";
+
+  XdbOptions opts;
+  opts.planner.bushy_joins = true;
+  XdbSystem bushy(&fed, opts);
+  auto r = bushy.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The co-located pairs form tasks on their own servers — at least two
+  // tasks, and the root joins two *composite* inputs (bushy).
+  EXPECT_GE(r->plan.tasks.size(), 2u);
+  bool any_bushy = false;
+  for (const auto& t : r->plan.tasks) {
+    if (MaxLeftDepth(*t.expr) > 0) any_bushy = true;
+  }
+  EXPECT_TRUE(any_bushy);
+
+  // And it agrees with the left-deep result.
+  Federation fed2;
+  auto* mono = fed2.AddServer("mono", EngineProfile::Postgres());
+  ASSERT_TRUE(mono->CreateBaseTable("a1", make(1000, 100)).ok());
+  ASSERT_TRUE(mono->CreateBaseTable("a2", make(1000, 100)).ok());
+  ASSERT_TRUE(mono->CreateBaseTable("b1", make(1000, 100)).ok());
+  ASSERT_TRUE(mono->CreateBaseTable("b2", make(1000, 100)).ok());
+  auto want = mono->ExecuteQuery(sql);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(r->result->row(0)[0].int64_value(),
+            (*want)->row(0)[0].int64_value());
+}
+
+TEST(TopologyConstraintTest, ReachabilityApi) {
+  Network net = Network::Lan({"a", "b", "c"});
+  EXPECT_TRUE(net.IsReachable("a", "b"));
+  net.BlockLink("a", "b");
+  EXPECT_FALSE(net.IsReachable("a", "b"));
+  EXPECT_FALSE(net.IsReachable("b", "a"));
+  EXPECT_TRUE(net.IsReachable("a", "c"));
+  EXPECT_TRUE(net.IsReachable("a", "a"));
+  net.UnblockLink("b", "a");
+  EXPECT_TRUE(net.IsReachable("a", "b"));
+}
+
+class ConstrainedTopologyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fed_.SetNetwork(Network::Lan({"d1", "d2"}));
+    auto* d1 = fed_.AddServer("d1", EngineProfile::Postgres());
+    auto* d2 = fed_.AddServer("d2", EngineProfile::Postgres());
+    auto make = [] {
+      auto t = std::make_shared<Table>(
+          Schema({{"k", TypeId::kInt64}, {"w", TypeId::kInt64}}));
+      for (int i = 0; i < 100; ++i) {
+        t->AppendRow({Value::Int64(i % 10), Value::Int64(i)});
+      }
+      return t;
+    };
+    ASSERT_TRUE(d1->CreateBaseTable("t1", make()).ok());
+    ASSERT_TRUE(d2->CreateBaseTable("t2", make()).ok());
+  }
+
+  Federation fed_;
+};
+
+TEST_F(ConstrainedTopologyFixture, BlockedPairFailsWithClearError) {
+  fed_.network().BlockLink("d1", "d2");
+  XdbSystem xdb(&fed_);
+  auto r = xdb.Query(
+      "SELECT t1.w FROM t1, t2 WHERE t1.k = t2.k");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNetworkError);
+  EXPECT_NE(r.status().message().find("topology"), std::string::npos);
+}
+
+TEST_F(ConstrainedTopologyFixture, UnblockedPairWorksAgain) {
+  fed_.network().BlockLink("d1", "d2");
+  fed_.network().UnblockLink("d1", "d2");
+  XdbSystem xdb(&fed_);
+  auto r = xdb.Query("SELECT t1.w FROM t1, t2 WHERE t1.k = t2.k");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(ConstrainedTopologyFixture, ExecutionTimeFetchAlsoGuarded) {
+  // Even a hand-wired foreign table cannot cross a blocked link.
+  auto* d1 = fed_.GetServer("d1");
+  ASSERT_TRUE(d1->ExecuteDdl("CREATE FOREIGN TABLE t2 SERVER d2").ok());
+  fed_.network().BlockLink("d1", "d2");
+  auto r = d1->ExecuteQuery("SELECT * FROM t2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNetworkError);
+}
+
+TEST(BushyJoinsTest, RandomizedAgreementWithLeftDeep) {
+  // Property: for chain joins of 3-6 synthetic tables, bushy and left-deep
+  // plans always produce identical aggregates.
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    Federation fed;
+    fed.SetNetwork(Network::Lan({"x", "y"}));
+    auto* x = fed.AddServer("x", EngineProfile::Postgres());
+    auto* y = fed.AddServer("y", EngineProfile::Postgres());
+    int ntables = 3 + static_cast<int>(seed % 4);
+    std::string sql = "SELECT COUNT(*) AS n, SUM(a0.w) AS s FROM ";
+    for (int t = 0; t < ntables; ++t) {
+      auto table = std::make_shared<Table>(
+          Schema({{"k", TypeId::kInt64}, {"w", TypeId::kInt64}}));
+      uint64_t state = seed * 77 + static_cast<uint64_t>(t);
+      for (int i = 0; i < 60; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        table->AppendRow({Value::Int64(static_cast<int64_t>(state % 12)),
+                          Value::Int64(static_cast<int64_t>(state % 97))});
+      }
+      ASSERT_TRUE((t % 2 ? x : y)
+                      ->CreateBaseTable("r" + std::to_string(t), table)
+                      .ok());
+      sql += (t ? ", r" : "r") + std::to_string(t) + " a" +
+             std::to_string(t);
+    }
+    sql += " WHERE ";
+    for (int t = 1; t < ntables; ++t) {
+      if (t > 1) sql += " AND ";
+      sql += "a" + std::to_string(t - 1) + ".k = a" + std::to_string(t) +
+             ".k";
+    }
+    XdbSystem left_deep(&fed);
+    XdbOptions opts;
+    opts.planner.bushy_joins = true;
+    XdbSystem bushy(&fed, opts);
+    auto a = left_deep.Query(sql);
+    auto b = bushy.Query(sql);
+    ASSERT_TRUE(a.ok()) << sql << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << b.status().ToString();
+    EXPECT_EQ(a->result->row(0)[0].int64_value(),
+              b->result->row(0)[0].int64_value())
+        << "seed " << seed;
+    EXPECT_EQ(a->result->row(0)[1].Compare(b->result->row(0)[1]), 0)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace xdb

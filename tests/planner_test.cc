@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/plan/planner.h"
+#include "src/sql/parser.h"
+
+namespace xdb {
+namespace {
+
+/// Resolver over a fixed synthetic catalog with controllable cardinalities.
+class FakeResolver : public RelationResolver {
+ public:
+  void Add(const std::string& table, Schema schema, double rows,
+           std::vector<double> ndvs = {}) {
+    Entry e;
+    e.schema = std::move(schema);
+    e.stats.row_count = rows;
+    for (size_t i = 0; i < e.schema.num_fields(); ++i) {
+      ColumnStats cs;
+      cs.ndv = i < ndvs.size() ? ndvs[i] : rows;
+      cs.min = Value::Int64(0);
+      cs.max = Value::Int64(static_cast<int64_t>(rows));
+      e.stats.columns.push_back(cs);
+    }
+    tables_[table] = std::move(e);
+  }
+
+  Result<PlanPtr> Resolve(const std::string& db,
+                          const std::string& table) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::CatalogError("unknown " + table);
+    }
+    return PlanNode::MakeScan(db.empty() ? "db" : db, table, table,
+                              it->second.schema, it->second.stats);
+  }
+
+ private:
+  struct Entry {
+    Schema schema;
+    TableStats stats;
+  };
+  std::map<std::string, Entry> tables_;
+};
+
+FakeResolver MakeCatalog() {
+  FakeResolver r;
+  r.Add("big", Schema({{"id", TypeId::kInt64}, {"x", TypeId::kInt64},
+                       {"pad", TypeId::kString}}),
+        100000, {100000, 100});
+  r.Add("mid", Schema({{"id", TypeId::kInt64}, {"big_id", TypeId::kInt64},
+                       {"y", TypeId::kInt64}}),
+        1000, {1000, 100000, 50});
+  r.Add("small", Schema({{"id", TypeId::kInt64}, {"z", TypeId::kString}}),
+        10, {10, 10});
+  return r;
+}
+
+PlanPtr MustPlan(RelationResolver* r, const std::string& sql,
+                 PlannerOptions opts = {}) {
+  auto stmt = sql::ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  Planner planner(r, opts);
+  auto plan = planner.Plan(**stmt);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.ok() ? *plan : nullptr;
+}
+
+/// Counts nodes of a kind in the tree.
+int CountKind(const PlanNode& node, PlanKind kind) {
+  int n = node.kind == kind ? 1 : 0;
+  for (const auto& c : node.children) n += CountKind(*c, kind);
+  return n;
+}
+
+const PlanNode* FindFirst(const PlanNode& node, PlanKind kind) {
+  if (node.kind == kind) return &node;
+  for (const auto& c : node.children) {
+    if (const PlanNode* f = FindFirst(*c, kind)) return f;
+  }
+  return nullptr;
+}
+
+TEST(PlannerTest, FilterPushedBelowJoin) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT b.x FROM big b, mid m "
+                          "WHERE b.id = m.big_id AND b.x > 50");
+  // The single-table predicate must sit below the join.
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  bool filter_below_join = false;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kFilter) filter_below_join = true;
+    for (const auto& c : n.children) walk(*c);
+  };
+  for (const auto& c : join->children) walk(*c);
+  EXPECT_TRUE(filter_below_join);
+}
+
+TEST(PlannerTest, FilterStaysOnTopWithoutPushdown) {
+  FakeResolver cat = MakeCatalog();
+  PlannerOptions opts;
+  opts.push_down_filters = false;
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT b.x FROM big b, mid m "
+                          "WHERE b.id = m.big_id AND b.x > 50",
+                          opts);
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  // No Filter below the join; the predicate is applied above it.
+  for (const auto& c : join->children) {
+    EXPECT_EQ(CountKind(*c, PlanKind::kFilter), 0);
+  }
+  EXPECT_EQ(CountKind(*plan, PlanKind::kFilter), 1);
+}
+
+TEST(PlannerTest, ColumnPruningShrinksScans) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT m.y FROM big b, mid m "
+                          "WHERE b.id = m.big_id");
+  // big has 3 columns but only `id` is needed -> a 1-column projection
+  // below the join on the big side.
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  for (const auto& c : join->children) {
+    EXPECT_LE(c->output_schema.num_fields(), 2u);
+  }
+}
+
+TEST(PlannerTest, NoPruningKeepsFullWidth) {
+  FakeResolver cat = MakeCatalog();
+  PlannerOptions opts;
+  opts.prune_columns = false;
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT m.y FROM big b, mid m "
+                          "WHERE b.id = m.big_id",
+                          opts);
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  size_t total = join->children[0]->output_schema.num_fields() +
+                 join->children[1]->output_schema.num_fields();
+  EXPECT_EQ(total, 6u);  // 3 (big) + 3 (mid)
+}
+
+TEST(PlannerTest, JoinOrderPutsSelectiveSideFirst) {
+  FakeResolver cat = MakeCatalog();
+  // Chain big -(id=big_id)- mid -(id=id)- small. Left-deep DP should not
+  // start from `big` x `small` (a cross product) and should order to keep
+  // intermediates small.
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT s.z FROM big b, mid m, small s "
+                          "WHERE b.id = m.big_id AND m.id = s.id");
+  EXPECT_EQ(CountKind(*plan, PlanKind::kJoin), 2);
+  // No cross products: every join has keys.
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kJoin) {
+      EXPECT_FALSE(n.left_keys.empty());
+    }
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*plan);
+}
+
+TEST(PlannerTest, CrossProductOnlyWhenDisconnected) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat, "SELECT s.z FROM small s, mid m");
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_TRUE(join->left_keys.empty());
+}
+
+TEST(PlannerTest, NonEquiCrossPredicateBecomesResidualFilter) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT m.y FROM big b, mid m "
+                          "WHERE b.id = m.big_id AND b.x > m.y");
+  // b.x > m.y spans both relations and is not an equi-join: it must appear
+  // as a filter above the join (or as a join residual).
+  const PlanNode* join = FindFirst(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  bool has_residual_or_filter =
+      join->residual != nullptr || CountKind(*plan, PlanKind::kFilter) > 0;
+  EXPECT_TRUE(has_residual_or_filter);
+}
+
+TEST(PlannerTest, SelfJoinWithAliases) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT a.y FROM mid a, mid b "
+                          "WHERE a.id = b.big_id AND b.y > 5");
+  EXPECT_EQ(CountKind(*plan, PlanKind::kJoin), 1);
+  EXPECT_EQ(CountKind(*plan, PlanKind::kScan), 2);
+}
+
+TEST(PlannerTest, GroupByAliasFromSelectList) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT m.y * 2 AS dy, COUNT(*) AS n FROM mid m "
+                          "GROUP BY dy");
+  const PlanNode* agg = FindFirst(*plan, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->group_keys.size(), 1u);
+  EXPECT_EQ(plan->output_schema.field(0).name, "dy");
+}
+
+TEST(PlannerTest, PostAggregateArithmetic) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT SUM(m.y) / COUNT(*) AS avg_y "
+                          "FROM mid m");
+  // A Project above the Aggregate computes the division.
+  EXPECT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kAggregate);
+  EXPECT_EQ(plan->children[0]->aggregates.size(), 2u);
+}
+
+TEST(PlannerTest, DuplicateAggregatesComputedOnce) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr plan = MustPlan(&cat,
+                          "SELECT SUM(m.y), SUM(m.y) + 1 FROM mid m");
+  const PlanNode* agg = FindFirst(*plan, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->aggregates.size(), 1u);
+}
+
+TEST(PlannerTest, SelectOutsideGroupByRejected) {
+  FakeResolver cat = MakeCatalog();
+  auto stmt = sql::ParseSelect(
+      "SELECT m.y, COUNT(*) FROM mid m GROUP BY m.id");
+  ASSERT_TRUE(stmt.ok());
+  Planner planner(&cat);
+  auto plan = planner.Plan(**stmt);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsBindError());
+}
+
+TEST(PlannerTest, OrderByAliasAndExpression) {
+  FakeResolver cat = MakeCatalog();
+  // By alias.
+  PlanPtr p1 = MustPlan(&cat,
+                        "SELECT m.y AS v FROM mid m ORDER BY v DESC");
+  EXPECT_EQ(p1->kind, PlanKind::kSort);
+  EXPECT_TRUE(p1->sort_keys[0].second);
+  // By structural match with a select expression.
+  PlanPtr p2 = MustPlan(&cat,
+                        "SELECT SUM(m.y) AS s FROM mid m GROUP BY m.id "
+                        "ORDER BY SUM(m.y)");
+  EXPECT_EQ(p2->kind, PlanKind::kSort);
+}
+
+TEST(PlannerTest, OrderByUnknownFails) {
+  FakeResolver cat = MakeCatalog();
+  auto stmt = sql::ParseSelect("SELECT m.y FROM mid m ORDER BY nosuch");
+  ASSERT_TRUE(stmt.ok());
+  Planner planner(&cat);
+  EXPECT_FALSE(planner.Plan(**stmt).ok());
+}
+
+TEST(PlannerTest, SelectStarSingleAndMultiTable) {
+  FakeResolver cat = MakeCatalog();
+  PlanPtr p1 = MustPlan(&cat, "SELECT * FROM small s");
+  EXPECT_EQ(p1->output_schema.num_fields(), 2u);
+  PlanPtr p2 = MustPlan(&cat,
+                        "SELECT * FROM small s, mid m WHERE s.id = m.id");
+  EXPECT_EQ(p2->output_schema.num_fields(), 5u);
+  // FROM order is preserved in the output even if the join order differs.
+  EXPECT_EQ(p2->output_schema.field(0).name, "id");
+  EXPECT_EQ(p2->output_schema.field(1).name, "z");
+}
+
+TEST(PlannerTest, AmbiguousUnqualifiedColumnFails) {
+  FakeResolver cat = MakeCatalog();
+  auto stmt =
+      sql::ParseSelect("SELECT id FROM small s, mid m WHERE s.id = m.id");
+  ASSERT_TRUE(stmt.ok());
+  Planner planner(&cat);
+  auto plan = planner.Plan(**stmt);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsBindError());
+}
+
+TEST(PlannerTest, UnknownTableFails) {
+  FakeResolver cat = MakeCatalog();
+  auto stmt = sql::ParseSelect("SELECT x FROM nosuch");
+  ASSERT_TRUE(stmt.ok());
+  Planner planner(&cat);
+  EXPECT_TRUE(planner.Plan(**stmt).status().IsCatalogError());
+}
+
+TEST(PlannerTest, ConjunctSplitAndCombineRoundTrip) {
+  auto stmt = sql::ParseSelect(
+      "SELECT m.y FROM mid m WHERE m.y > 1 AND m.id < 5 AND m.big_id = 3");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts((*stmt)->where, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  ExprPtr recombined = CombineConjuncts(conjuncts);
+  std::vector<ExprPtr> again;
+  SplitConjuncts(recombined, &again);
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/timing/timing_model.h"
+
+namespace xdb {
+namespace {
+
+class TimingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fed_.SetNetwork(Network::Lan({"a", "b", "c"}));
+    fed_.AddServer("a", EngineProfile::Postgres());
+    fed_.AddServer("b", EngineProfile::Postgres());
+    fed_.AddServer("c", EngineProfile::Postgres());
+  }
+
+  static ComputeTrace ScanOnly(double rows) {
+    ComputeTrace t;
+    t.scan_rows = rows;
+    return t;
+  }
+
+  static TransferRecord Rec(int id, int parent, const std::string& src,
+                            const std::string& dst, double rows,
+                            double bytes, bool materialized = false) {
+    TransferRecord r;
+    r.id = id;
+    r.parent_id = parent;
+    r.src = src;
+    r.dst = dst;
+    r.relation = "rel" + std::to_string(id);
+    r.rows = rows;
+    r.bytes = bytes;
+    r.messages = 1;
+    r.materialized = materialized;
+    return r;
+  }
+
+  Federation fed_;
+};
+
+TEST_F(TimingFixture, ComputeSecondsWeightsCounters) {
+  TimingModel model(&fed_);
+  EngineProfile p = EngineProfile::Postgres();
+  ComputeTrace t;
+  t.scan_rows = 1e6;
+  double s = model.ComputeSeconds(t, p, false);
+  EXPECT_NEAR(s, 1e6 * p.scan_row_cost + p.startup_cost, 1e-9);
+}
+
+TEST_F(TimingFixture, ScaleUpMultipliesRowCosts) {
+  TimingModel m1(&fed_, {1.0});
+  TimingModel m10(&fed_, {10.0});
+  EngineProfile p = EngineProfile::Postgres();
+  ComputeTrace t = ScanOnly(1e6);
+  double s1 = m1.ComputeSeconds(t, p, false) - p.startup_cost;
+  double s10 = m10.ComputeSeconds(t, p, false) - p.startup_cost;
+  EXPECT_NEAR(s10, 10.0 * s1, 1e-9);
+}
+
+TEST_F(TimingFixture, FreeNetworkDropsForeignIngest) {
+  TimingModel model(&fed_);
+  EngineProfile p = EngineProfile::Postgres();
+  ComputeTrace t;
+  t.foreign_rows = 1e6;
+  EXPECT_GT(model.ComputeSeconds(t, p, false),
+            model.ComputeSeconds(t, p, true));
+  EXPECT_NEAR(model.ComputeSeconds(t, p, true), p.startup_cost, 1e-9);
+}
+
+TEST_F(TimingFixture, AmdahlParallelism) {
+  TimingModel model(&fed_);
+  EngineProfile p2 = EngineProfile::PrestoMediator(2);
+  EngineProfile p10 = EngineProfile::PrestoMediator(10);
+  ComputeTrace t;
+  t.join_probe_rows = 1e8;
+  double s2 = model.ComputeSeconds(t, p2, true);
+  double s10 = model.ComputeSeconds(t, p10, true);
+  EXPECT_LT(s10, s2);
+  // But the serial fraction bounds the speedup below 5x.
+  EXPECT_GT(s10 - p10.startup_cost, (s2 - p2.startup_cost) / 5.0);
+}
+
+TEST_F(TimingFixture, IngestDoesNotParallelize) {
+  // The coordinator bottleneck of Figure 11: foreign ingest is identical
+  // regardless of worker count.
+  TimingModel model(&fed_);
+  ComputeTrace t;
+  t.foreign_rows = 1e7;
+  double s2 = model.ComputeSeconds(t, EngineProfile::PrestoMediator(2),
+                                   false);
+  double s10 = model.ComputeSeconds(t, EngineProfile::PrestoMediator(10),
+                                    false);
+  EXPECT_NEAR(s2, s10, 1e-9);
+}
+
+TEST_F(TimingFixture, TransferSecondsBandwidthAndLatency) {
+  TimingModel model(&fed_);
+  TransferRecord r = Rec(0, -1, "a", "b", 1e5, 125e6);  // 1s at 1 Gbit
+  double s = model.TransferSeconds(r);
+  LinkProps link = fed_.network().GetLink("a", "b");
+  EXPECT_NEAR(s, 1.0 + link.latency * 12.0, 0.01);  // 11 batches + 1
+}
+
+TEST_F(TimingFixture, ImplicitTransfersOverlapProduction) {
+  // Producer takes X seconds of compute; the wire takes Y. Pipelined
+  // arrival is max(X, Y), not X + Y.
+  RunTrace trace;
+  trace.root_server = "b";
+  TransferRecord r = Rec(0, -1, "a", "b", 1e6, 125e6);  // wire = 1s
+  r.producer_compute = ScanOnly(4e7);  // 40e6 * 1.5e-7 = 6s on postgres
+  trace.transfers.push_back(r);
+  TimingModel model(&fed_);
+  TimingBreakdown out = model.ModelRun(trace);
+  EngineProfile pg = EngineProfile::Postgres();
+  double producer = 4e7 * pg.scan_row_cost + pg.startup_cost;
+  // Total = max(producer, wire) + root compute(= startup only).
+  EXPECT_NEAR(out.total, std::max(producer, 1.0) + pg.startup_cost, 0.1);
+}
+
+TEST_F(TimingFixture, MaterializedTransfersSerialize) {
+  RunTrace trace;
+  trace.root_server = "b";
+  TransferRecord r = Rec(0, -1, "a", "b", 1e6, 125e6, /*materialized=*/true);
+  r.producer_compute = ScanOnly(4e7);
+  trace.transfers.push_back(r);
+  TimingModel model(&fed_);
+  TimingBreakdown out = model.ModelRun(trace);
+  EngineProfile pg = EngineProfile::Postgres();
+  double producer = 4e7 * pg.scan_row_cost + pg.startup_cost;
+  double write = 1e6 * pg.materialize_row_cost;
+  // Total = producer + wire + write + root compute: strictly more than the
+  // pipelined case.
+  EXPECT_NEAR(out.total, producer + 1.0 + write + pg.startup_cost, 0.1);
+}
+
+TEST_F(TimingFixture, SequentialMaterializationsAddUp) {
+  RunTrace trace;
+  trace.root_server = "c";
+  for (int i = 0; i < 3; ++i) {
+    TransferRecord r = Rec(i, -1, i % 2 ? "a" : "b", "c", 1e6, 125e6, true);
+    trace.transfers.push_back(r);
+  }
+  TimingModel model(&fed_);
+  double three = model.ModelRun(trace).total;
+  trace.transfers.resize(1);
+  double one = model.ModelRun(trace).total;
+  EXPECT_GT(three, 2.5 * one - 2.0);  // roughly 3x (minus shared startup)
+}
+
+TEST_F(TimingFixture, ParallelImplicitSiblingsTakeTheMax) {
+  RunTrace trace;
+  trace.root_server = "c";
+  trace.transfers.push_back(Rec(0, -1, "a", "c", 1e6, 125e6));
+  trace.transfers.push_back(Rec(1, -1, "b", "c", 1e6, 125e6));
+  TimingModel model(&fed_);
+  double two = model.ModelRun(trace).total;
+  trace.transfers.resize(1);
+  double one = model.ModelRun(trace).total;
+  EXPECT_NEAR(two, one, 0.05);  // independent pipelines overlap fully
+}
+
+TEST_F(TimingFixture, NestedTransfersCompose) {
+  // a -> b (while serving b's fetch, b pulls from c): the chain's depth
+  // shows up in the total.
+  RunTrace trace;
+  trace.root_server = "a";
+  TransferRecord outer = Rec(0, -1, "b", "a", 1e5, 1.25e7);
+  outer.producer_compute = ScanOnly(1e7);
+  TransferRecord inner = Rec(1, 0, "c", "b", 1e5, 1.25e7);
+  inner.producer_compute = ScanOnly(2e8);  // 30s: dominates
+  trace.transfers.push_back(outer);
+  trace.transfers.push_back(inner);
+  TimingModel model(&fed_);
+  TimingBreakdown out = model.ModelRun(trace);
+  EXPECT_GT(out.total, 29.0);
+}
+
+TEST_F(TimingFixture, TransferShareDecomposition) {
+  RunTrace trace;
+  trace.root_server = "b";
+  TransferRecord r = Rec(0, -1, "a", "b", 1e6, 1.25e9);  // 10s wire
+  r.producer_compute = ScanOnly(1e6);
+  trace.transfers.push_back(r);
+  TimingModel model(&fed_);
+  TimingBreakdown out = model.ModelRun(trace);
+  EXPECT_NEAR(out.total, out.compute_only + out.transfer_share, 1e-9);
+  EXPECT_GT(out.transfer_share, 5.0);
+}
+
+TEST_F(TimingFixture, PingPongChainsTerminate) {
+  // Regression: materialised transfers bouncing a<->b must not cycle the
+  // prereq logic (this configuration previously overflowed the stack).
+  RunTrace trace;
+  trace.root_server = "a";
+  TransferRecord m = Rec(0, -1, "b", "a", 1e5, 1e6, true);
+  TransferRecord child = Rec(1, 0, "a", "b", 1e5, 1e6);
+  TransferRecord m2 = Rec(2, -1, "b", "a", 1e5, 1e6, true);
+  trace.transfers = {m, child, m2};
+  TimingModel model(&fed_);
+  TimingBreakdown out = model.ModelRun(trace);
+  EXPECT_GT(out.total, 0.0);
+  EXPECT_LT(out.total, 1e6);
+}
+
+TEST_F(TimingFixture, LocalizedComputeIsRootOnly) {
+  RunTrace trace;
+  trace.root_server = "b";
+  trace.root_compute.join_probe_rows = 1e6;
+  TransferRecord r = Rec(0, -1, "a", "b", 1e6, 1e6);
+  r.producer_compute = ScanOnly(1e9);  // enormous source work
+  trace.transfers.push_back(r);
+  TimingModel model(&fed_);
+  EngineProfile pg = EngineProfile::Postgres();
+  double localized = model.LocalizedCompute(trace);
+  EXPECT_NEAR(localized, 1e6 * pg.join_row_cost + pg.startup_cost, 1e-6);
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,158 @@
+// Parameterised properties of the TPC-H-style generator across scale
+// factors: cardinality ratios, key integrity, date ranges, and the value
+// distributions the evaluation queries' selectivities depend on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/dbms/server.h"
+#include "src/tpch/dbgen.h"
+#include "src/tpch/distributions.h"
+
+namespace xdb {
+namespace tpch {
+namespace {
+
+class DbGenSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbGenSweep, CardinalityRatiosScale) {
+  DbGen gen(GetParam());
+  // TPC-H base ratios: customer:supplier = 15:1, part:customer = 4:3,
+  // orders:customer = 10:1 (subject to the minimum-row floors at tiny SF).
+  if (GetParam() >= 0.01) {
+    EXPECT_NEAR(static_cast<double>(gen.num_customers()) /
+                    static_cast<double>(gen.num_suppliers()),
+                15.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(gen.num_orders()) /
+                    static_cast<double>(gen.num_customers()),
+                10.0, 0.5);
+  }
+  auto orders = gen.Orders();
+  EXPECT_EQ(orders->num_rows(), static_cast<size_t>(gen.num_orders()));
+}
+
+TEST_P(DbGenSweep, ForeignKeysAreValid) {
+  DbGen gen(GetParam());
+  auto orders = gen.Orders();
+  for (size_t i = 0; i < std::min<size_t>(500, orders->num_rows()); ++i) {
+    int64_t cust = orders->row(i)[1].int64_value();
+    EXPECT_GE(cust, 1);
+    EXPECT_LE(cust, gen.num_customers());
+  }
+  auto lineitem = gen.Lineitem();
+  for (size_t i = 0; i < std::min<size_t>(500, lineitem->num_rows()); ++i) {
+    const Row& row = lineitem->row(i);
+    EXPECT_GE(row[0].int64_value(), 1);                  // l_orderkey
+    EXPECT_LE(row[0].int64_value(), gen.num_orders());
+    EXPECT_GE(row[1].int64_value(), 1);                  // l_partkey
+    EXPECT_LE(row[1].int64_value(), gen.num_parts());
+    EXPECT_GE(row[2].int64_value(), 1);                  // l_suppkey
+    EXPECT_LE(row[2].int64_value(), gen.num_suppliers());
+  }
+}
+
+TEST_P(DbGenSweep, DatesInTpchRange) {
+  DbGen gen(GetParam());
+  int64_t lo = DaysFromCivil(1992, 1, 1);
+  int64_t hi = DaysFromCivil(1998, 12, 31);
+  auto orders = gen.Orders();
+  for (size_t i = 0; i < std::min<size_t>(300, orders->num_rows()); ++i) {
+    int64_t d = orders->row(i)[4].date_value();
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+  auto lineitem = gen.Lineitem();
+  for (size_t i = 0; i < std::min<size_t>(300, lineitem->num_rows()); ++i) {
+    // shipdate <= receiptdate, both after the order epoch.
+    EXPECT_LE(lineitem->row(i)[10].date_value(),
+              lineitem->row(i)[12].date_value());
+    EXPECT_GE(lineitem->row(i)[10].date_value(), lo);
+  }
+}
+
+TEST_P(DbGenSweep, PartSuppIsAKey) {
+  DbGen gen(GetParam());
+  auto ps = gen.PartSupp();
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const auto& row : ps->rows()) {
+    auto key = std::make_pair(row[0].int64_value(), row[1].int64_value());
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate partsupp (" << key.first << "," << key.second << ")";
+  }
+  EXPECT_EQ(ps->num_rows(), 4u * static_cast<size_t>(gen.num_parts()));
+}
+
+TEST_P(DbGenSweep, DistributionsCoverTheFiveSegments) {
+  DbGen gen(GetParam());
+  auto customer = gen.Customer();
+  std::set<std::string> segments;
+  for (const auto& row : customer->rows()) {
+    segments.insert(row[6].string_value());
+  }
+  EXPECT_EQ(segments.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleFactors, DbGenSweep,
+                         ::testing::Values(0.001, 0.005, 0.02, 0.05),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "sf" + std::to_string(static_cast<int>(
+                                             info.param * 1000));
+                         });
+
+TEST(DistributionTest, EveryTableDistributionPlacesAllEightTables) {
+  const char* tables[] = {"lineitem", "orders",   "customer", "supplier",
+                          "part",     "partsupp", "nation",   "region"};
+  for (int td = 1; td <= 3; ++td) {
+    TableDistribution d = DistributionByIndex(td);
+    EXPECT_EQ(d.size(), 8u);
+    for (const char* t : tables) {
+      ASSERT_TRUE(d.count(t)) << "TD" << td << " misses " << t;
+      // Placement targets must be real nodes.
+      bool known = false;
+      for (const auto& n : TpchNodes()) {
+        if (d.at(t) == n) known = true;
+      }
+      EXPECT_TRUE(known) << d.at(t);
+    }
+  }
+}
+
+TEST(DistributionTest, Td1MatchesPaperTableIII) {
+  TableDistribution d = TD1();
+  EXPECT_EQ(d.at("lineitem"), "db1");
+  EXPECT_EQ(d.at("customer"), "db2");
+  EXPECT_EQ(d.at("orders"), "db2");
+  EXPECT_EQ(d.at("supplier"), "db3");
+  EXPECT_EQ(d.at("nation"), "db3");
+  EXPECT_EQ(d.at("region"), "db3");
+  EXPECT_EQ(d.at("part"), "db4");
+  EXPECT_EQ(d.at("partsupp"), "db4");
+}
+
+TEST(DistributionTest, Td3SpreadsEverythingApart) {
+  TableDistribution d = TD3();
+  std::set<std::string> used;
+  for (const auto& [table, node] : d) used.insert(node);
+  EXPECT_EQ(used.size(), 7u);  // all seven nodes host something
+}
+
+TEST(DistributionTest, FederationLoadsTablesWhereTheDistributionSays) {
+  auto fed = BuildTpchFederation(0.001, TD2());
+  EXPECT_TRUE(fed->GetServer("db1")->HasRelation("lineitem"));
+  EXPECT_TRUE(fed->GetServer("db1")->HasRelation("supplier"));
+  EXPECT_TRUE(fed->GetServer("db3")->HasRelation("customer"));
+  EXPECT_FALSE(fed->GetServer("db3")->HasRelation("orders"));
+  EXPECT_TRUE(fed->GetServer("db5")->BaseRelations().empty());
+}
+
+TEST(DistributionTest, HeterogeneousAssignmentMatchesPaper) {
+  EngineAssignment a = HeterogeneousAssignment();
+  EXPECT_EQ(a.at("db2").vendor, "mariadb");
+  EXPECT_EQ(a.at("db3").vendor, "hive");
+  EXPECT_EQ(a.at("db1").vendor, "postgres");
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace xdb

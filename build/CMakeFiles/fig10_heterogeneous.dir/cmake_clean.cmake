@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heterogeneous.dir/bench/fig10_heterogeneous.cc.o"
+  "CMakeFiles/fig10_heterogeneous.dir/bench/fig10_heterogeneous.cc.o.d"
+  "bench/fig10_heterogeneous"
+  "bench/fig10_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

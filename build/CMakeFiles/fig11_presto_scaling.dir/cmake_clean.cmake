@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_presto_scaling.dir/bench/fig11_presto_scaling.cc.o"
+  "CMakeFiles/fig11_presto_scaling.dir/bench/fig11_presto_scaling.cc.o.d"
+  "bench/fig11_presto_scaling"
+  "bench/fig11_presto_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_presto_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

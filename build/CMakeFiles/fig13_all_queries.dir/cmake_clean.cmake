@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_all_queries.dir/bench/fig13_all_queries.cc.o"
+  "CMakeFiles/fig13_all_queries.dir/bench/fig13_all_queries.cc.o.d"
+  "bench/fig13_all_queries"
+  "bench/fig13_all_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_all_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

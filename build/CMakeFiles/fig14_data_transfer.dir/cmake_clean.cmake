@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_data_transfer.dir/bench/fig14_data_transfer.cc.o"
+  "CMakeFiles/fig14_data_transfer.dir/bench/fig14_data_transfer.cc.o.d"
+  "bench/fig14_data_transfer"
+  "bench/fig14_data_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_data_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_breakdown.dir/bench/fig15_breakdown.cc.o"
+  "CMakeFiles/fig15_breakdown.dir/bench/fig15_breakdown.cc.o.d"
+  "bench/fig15_breakdown"
+  "bench/fig15_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

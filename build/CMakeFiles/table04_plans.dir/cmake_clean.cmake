@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_plans.dir/bench/table04_plans.cc.o"
+  "CMakeFiles/table04_plans.dir/bench/table04_plans.cc.o.d"
+  "bench/table04_plans"
+  "bench/table04_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_distributed.dir/geo_distributed.cpp.o"
+  "CMakeFiles/example_geo_distributed.dir/geo_distributed.cpp.o.d"
+  "example_geo_distributed"
+  "example_geo_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

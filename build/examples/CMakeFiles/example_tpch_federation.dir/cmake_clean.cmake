@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpch_federation.dir/tpch_federation.cpp.o"
+  "CMakeFiles/example_tpch_federation.dir/tpch_federation.cpp.o.d"
+  "example_tpch_federation"
+  "example_tpch_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpch_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

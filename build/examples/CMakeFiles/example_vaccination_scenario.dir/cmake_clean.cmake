@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vaccination_scenario.dir/vaccination_scenario.cpp.o"
+  "CMakeFiles/example_vaccination_scenario.dir/vaccination_scenario.cpp.o.d"
+  "example_vaccination_scenario"
+  "example_vaccination_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vaccination_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

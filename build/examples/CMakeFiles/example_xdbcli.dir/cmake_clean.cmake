@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xdbcli.dir/xdbcli.cpp.o"
+  "CMakeFiles/example_xdbcli.dir/xdbcli.cpp.o.d"
+  "example_xdbcli"
+  "example_xdbcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xdbcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/xdb.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/str_util.cc.o.d"
+  "/root/repo/src/connect/deparser.cc" "src/CMakeFiles/xdb.dir/connect/deparser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/connect/deparser.cc.o.d"
+  "/root/repo/src/dbms/engine_profile.cc" "src/CMakeFiles/xdb.dir/dbms/engine_profile.cc.o" "gcc" "src/CMakeFiles/xdb.dir/dbms/engine_profile.cc.o.d"
+  "/root/repo/src/dbms/federation.cc" "src/CMakeFiles/xdb.dir/dbms/federation.cc.o" "gcc" "src/CMakeFiles/xdb.dir/dbms/federation.cc.o.d"
+  "/root/repo/src/dbms/server.cc" "src/CMakeFiles/xdb.dir/dbms/server.cc.o" "gcc" "src/CMakeFiles/xdb.dir/dbms/server.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/xdb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/xdb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/xdb.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/xdb.dir/expr/expr.cc.o.d"
+  "/root/repo/src/mediator/mediator.cc" "src/CMakeFiles/xdb.dir/mediator/mediator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/mediator/mediator.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/xdb.dir/net/network.cc.o" "gcc" "src/CMakeFiles/xdb.dir/net/network.cc.o.d"
+  "/root/repo/src/plan/estimator.cc" "src/CMakeFiles/xdb.dir/plan/estimator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/plan/estimator.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/xdb.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/xdb.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/xdb.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/xdb.dir/plan/planner.cc.o.d"
+  "/root/repo/src/plan/stats.cc" "src/CMakeFiles/xdb.dir/plan/stats.cc.o" "gcc" "src/CMakeFiles/xdb.dir/plan/stats.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/xdb.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/xdb.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/xdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/xdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/xdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/timing/timing_model.cc" "src/CMakeFiles/xdb.dir/timing/timing_model.cc.o" "gcc" "src/CMakeFiles/xdb.dir/timing/timing_model.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/xdb.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/xdb.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/distributions.cc" "src/CMakeFiles/xdb.dir/tpch/distributions.cc.o" "gcc" "src/CMakeFiles/xdb.dir/tpch/distributions.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/xdb.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/xdb.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/xdb.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/xdb.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/table.cc" "src/CMakeFiles/xdb.dir/types/table.cc.o" "gcc" "src/CMakeFiles/xdb.dir/types/table.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/xdb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/xdb.dir/types/value.cc.o.d"
+  "/root/repo/src/xdb/annotator.cc" "src/CMakeFiles/xdb.dir/xdb/annotator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdb/annotator.cc.o.d"
+  "/root/repo/src/xdb/delegation_engine.cc" "src/CMakeFiles/xdb.dir/xdb/delegation_engine.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdb/delegation_engine.cc.o.d"
+  "/root/repo/src/xdb/finalizer.cc" "src/CMakeFiles/xdb.dir/xdb/finalizer.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdb/finalizer.cc.o.d"
+  "/root/repo/src/xdb/global_catalog.cc" "src/CMakeFiles/xdb.dir/xdb/global_catalog.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdb/global_catalog.cc.o.d"
+  "/root/repo/src/xdb/xdb.cc" "src/CMakeFiles/xdb.dir/xdb/xdb.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xdb/xdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/annotator_test.cc" "tests/CMakeFiles/xdb_tests.dir/annotator_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/annotator_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dbms_test.cc" "tests/CMakeFiles/xdb_tests.dir/dbms_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/dbms_test.cc.o.d"
+  "/root/repo/tests/delegation_test.cc" "tests/CMakeFiles/xdb_tests.dir/delegation_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/delegation_test.cc.o.d"
+  "/root/repo/tests/deparser_test.cc" "tests/CMakeFiles/xdb_tests.dir/deparser_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/deparser_test.cc.o.d"
+  "/root/repo/tests/estimator_test.cc" "tests/CMakeFiles/xdb_tests.dir/estimator_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/estimator_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/xdb_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/xdb_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/xdb_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/xdb_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/mediator_test.cc" "tests/CMakeFiles/xdb_tests.dir/mediator_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/mediator_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/xdb_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sql_features_test.cc" "tests/CMakeFiles/xdb_tests.dir/sql_features_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/sql_features_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/xdb_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/timing_test.cc" "tests/CMakeFiles/xdb_tests.dir/timing_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/timing_test.cc.o.d"
+  "/root/repo/tests/topn_functions_test.cc" "tests/CMakeFiles/xdb_tests.dir/topn_functions_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/topn_functions_test.cc.o.d"
+  "/root/repo/tests/tpch_dbgen_test.cc" "tests/CMakeFiles/xdb_tests.dir/tpch_dbgen_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/tpch_dbgen_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/xdb_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/tpch_test.cc.o.d"
+  "/root/repo/tests/value_property_test.cc" "tests/CMakeFiles/xdb_tests.dir/value_property_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/value_property_test.cc.o.d"
+  "/root/repo/tests/xdb_test.cc" "tests/CMakeFiles/xdb_tests.dir/xdb_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xdb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

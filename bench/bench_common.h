@@ -74,6 +74,9 @@ struct TestbedOptions {
   tpch::EngineAssignment engines = tpch::AllPostgres();
   int presto_workers = 4;
   bool want_sclera = false;  // ScleraDB only appears in Figure 9
+  /// Executor worker budget per DBMS node: 0 = hardware concurrency,
+  /// 1 = legacy serial. Affects only wall-clock, never reported figures.
+  int exec_threads = 0;
 };
 
 inline std::unique_ptr<Testbed> MakeTestbed(const TestbedOptions& opts) {
@@ -85,9 +88,11 @@ inline std::unique_ptr<Testbed> MakeTestbed(const TestbedOptions& opts) {
   double scale = kScaleUp;
   XdbOptions xopts;
   xopts.scale_up = scale;
+  xopts.exec_threads = opts.exec_threads;
   bed->xdb = std::make_unique<XdbSystem>(bed->fed.get(), xopts);
   MediatorOptions mopts;
   mopts.scale_up = scale;
+  mopts.exec_threads = opts.exec_threads;
   bed->garlic = std::make_unique<MediatorSystem>(bed->fed.get(),
                                                  MediatorKind::kGarlic,
                                                  mopts);

@@ -1,0 +1,90 @@
+// Wall-clock speedup of the morsel-driven parallel executor. Runs TPC-H Q5
+// end to end at exec_threads 1 vs 4 (and hardware concurrency) on a larger
+// local scale factor, then cross-checks that the *modelled* quantities —
+// timing-model seconds and transferred MB — are bit-identical across thread
+// counts: parallelism buys real wall-clock only, never different figures.
+//
+// Expect ~>=2x at exec_threads=4 on a 4+ core machine; on fewer cores the
+// pool is capped by hardware concurrency and the ratio shrinks toward 1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+// Larger than the figure benches: the parallel section (join probe,
+// filter, aggregation over lineitem) must dominate setup cost.
+constexpr double kPaperSf = 50.0;  // local SF 0.05, lineitem ~300k rows
+
+std::unique_ptr<Testbed>& Bed(int exec_threads) {
+  static std::unique_ptr<Testbed> beds[3];
+  int slot = exec_threads == 1 ? 0 : exec_threads == 4 ? 1 : 2;
+  if (!beds[slot]) {
+    TestbedOptions opts;
+    opts.paper_sf = kPaperSf;
+    opts.exec_threads = exec_threads;
+    beds[slot] = MakeTestbed(opts);
+  }
+  return beds[slot];
+}
+
+void BM_Q5(benchmark::State& state) {
+  int exec_threads = static_cast<int>(state.range(0));
+  auto& bed = Bed(exec_threads);
+  const auto* q = tpch::FindQuery("Q5");
+  double modelled = 0, mb = 0;
+  for (auto _ : state) {
+    auto r = bed->Run(SystemKind::kXdb, q->sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    modelled = r->exec_timing.total;
+    mb = TransferMb(*r);
+  }
+  state.counters["modelled_s"] = modelled;
+  state.counters["transfer_mb"] = mb;
+  state.counters["pool_threads"] =
+      exec_threads == 0 ? DefaultExecThreads() : exec_threads;
+}
+
+BENCHMARK(BM_Q5)
+    ->Arg(1)   // legacy serial
+    ->Arg(4)   // the ISSUE acceptance point
+    ->Arg(0)   // hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+// Verifies on startup (not under the timer) that the modelled outputs agree
+// across thread counts, and prints the comparison next to the timings.
+void CheckModelInvariance() {
+  const auto* q = tpch::FindQuery("Q5");
+  auto r1 = Bed(1)->Run(SystemKind::kXdb, q->sql);
+  auto r4 = Bed(4)->Run(SystemKind::kXdb, q->sql);
+  if (!r1.ok() || !r4.ok()) {
+    std::printf("Q5 failed: %s / %s\n", r1.status().ToString().c_str(),
+                r4.status().ToString().c_str());
+    return;
+  }
+  bool same = r1->exec_timing.total == r4->exec_timing.total &&
+              r1->transferred_bytes() == r4->transferred_bytes();
+  std::printf("Q5 modelled: t1=%.4fs t4=%.4fs  transfer: %.2fMB / %.2fMB"
+              "  -> %s\n",
+              r1->exec_timing.total, r4->exec_timing.total, TransferMb(*r1),
+              TransferMb(*r4),
+              same ? "IDENTICAL (as required)" : "MISMATCH (bug!)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  xdb::bench::CheckModelInvariance();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

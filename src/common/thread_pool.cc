@@ -1,0 +1,125 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace xdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked on purpose: pool threads may outlive static destruction order.
+  static ThreadPool* pool = new ThreadPool(DefaultExecThreads());
+  return pool;
+}
+
+int DefaultExecThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+// Set while a ParallelFor worker body runs, so a nested ParallelFor (which
+// could deadlock waiting for pool slots its own ancestors hold) degrades to
+// the inline path instead.
+thread_local bool t_in_parallel_worker = false;
+}  // namespace
+
+void ParallelFor(int max_workers, size_t num_items, size_t morsel_rows,
+                 const std::function<void(size_t morsel_index, size_t begin,
+                                          size_t end)>& fn) {
+  if (num_items == 0) return;
+  morsel_rows = std::max<size_t>(1, morsel_rows);
+  const size_t num_morsels = (num_items + morsel_rows - 1) / morsel_rows;
+
+  auto run_morsel = [&](size_t m) {
+    size_t begin = m * morsel_rows;
+    size_t end = std::min(num_items, begin + morsel_rows);
+    fn(m, begin, end);
+  };
+
+  ThreadPool* pool = ThreadPool::Shared();
+  int workers = std::min(max_workers, pool->num_threads() + 1);
+  if (num_morsels < static_cast<size_t>(workers)) {
+    workers = static_cast<int>(num_morsels);
+  }
+  if (workers <= 1 || t_in_parallel_worker) {
+    for (size_t m = 0; m < num_morsels; ++m) run_morsel(m);
+    return;
+  }
+
+  // Dynamic morsel dispatch: workers steal the next morsel index from a
+  // shared counter, so skew (one expensive morsel) does not serialize the
+  // tail. Which worker runs which morsel is nondeterministic; determinism
+  // of the *result* is the caller's per-morsel-buffer contract.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto done = std::make_shared<std::atomic<int>>(0);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto work = [next, num_morsels, &run_morsel]() {
+    t_in_parallel_worker = true;
+    for (;;) {
+      size_t m = next->fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      run_morsel(m);
+    }
+    t_in_parallel_worker = false;
+  };
+
+  const int helpers = workers - 1;  // the caller is worker 0
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([&work, &done_mu, &done_cv, done]() {
+      work();
+      // Notify under the lock: the waiter may destroy the condvar the
+      // moment the predicate holds, so the notify must not race past it.
+      std::lock_guard<std::mutex> lock(done_mu);
+      done->fetch_add(1, std::memory_order_release);
+      done_cv.notify_one();
+    });
+  }
+  work();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] {
+    return done->load(std::memory_order_acquire) == helpers;
+  });
+}
+
+}  // namespace xdb

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xdb {
+
+/// \brief A fixed-size pool of worker threads executing submitted tasks.
+///
+/// The executor's morsel-driven operators share one process-wide pool (see
+/// Shared()) instead of spawning threads per operator: thread creation costs
+/// more than most morsels, and a shared pool bounds total oversubscription
+/// when several DatabaseServers execute in one process (the simulated
+/// federation).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Number of execution threads meant by "use the hardware": at least
+/// 1, otherwise std::thread::hardware_concurrency().
+int DefaultExecThreads();
+
+/// \brief Morsel-driven parallel loop over [0, num_items).
+///
+/// The range is cut into morsels of `morsel_rows` items; up to `max_workers`
+/// workers (the calling thread plus shared-pool threads) pull morsel indices
+/// from a shared counter and invoke `fn(morsel_index, begin, end)`. Morsel
+/// boundaries depend only on (num_items, morsel_rows) — never on the worker
+/// count — so callers that buffer per-morsel output and concatenate it in
+/// morsel order produce results that are bit-identical for any `max_workers`,
+/// including 1 (which runs everything inline on the caller, the legacy
+/// serial path). Blocks until every morsel has completed. `fn` must not
+/// throw and must not itself call ParallelFor.
+void ParallelFor(int max_workers, size_t num_items, size_t morsel_rows,
+                 const std::function<void(size_t morsel_index, size_t begin,
+                                          size_t end)>& fn);
+
+}  // namespace xdb

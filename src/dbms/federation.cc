@@ -71,16 +71,18 @@ void Federation::PopFetch(int id, double rows, double bytes,
   Frame frame = std::move(stack_.back());
   stack_.pop_back();
   if (!run_active_ || id < 0) return;
-  for (auto& rec : run_.transfers) {
-    if (rec.id != id) continue;
-    rec.rows = rows;
-    rec.bytes = bytes;
-    rec.messages = messages;
-    rec.materialized = materialized;
-    rec.producer_compute = frame.trace;
-    run_.per_server[rec.src].Add(frame.trace);
-    break;
-  }
+  // Records are appended in id order (id == index within the run), so the
+  // lookup is O(1) — the previous linear scan made deeply-fetching runs
+  // quadratic in their transfer count.
+  size_t idx = static_cast<size_t>(id);
+  if (idx >= run_.transfers.size() || run_.transfers[idx].id != id) return;
+  TransferRecord& rec = run_.transfers[idx];
+  rec.rows = rows;
+  rec.bytes = bytes;
+  rec.messages = messages;
+  rec.materialized = materialized;
+  rec.producer_compute = frame.trace;
+  run_.per_server[rec.src].Add(frame.trace);
 }
 
 void Federation::RecordControlMessage(const std::string& a,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/sql/parser.h"
 
 namespace xdb {
@@ -122,6 +123,14 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
 
 ComputeTrace* DatabaseServer::Context::trace() {
   return server_->fed_->CurrentTrace();
+}
+
+int DatabaseServer::Context::exec_threads() const {
+  return server_->exec_threads();
+}
+
+int DatabaseServer::exec_threads() const {
+  return exec_threads_ > 0 ? exec_threads_ : DefaultExecThreads();
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,15 @@ class DatabaseServer : public RelationResolver {
   const std::string& name() const { return name_; }
   const EngineProfile& profile() const { return profile_; }
 
+  /// Sets the morsel-parallel worker budget for this server's executor.
+  /// 0 (the default) resolves to the hardware concurrency; 1 forces the
+  /// legacy single-threaded path. Wall-clock only — modelled times, traces,
+  /// and results are identical for every setting.
+  void set_exec_threads(int n) { exec_threads_ = n; }
+
+  /// Resolved worker count (never 0).
+  int exec_threads() const;
+
   // --- storage bootstrap (out-of-band; not part of the query interface) ---
 
   /// Loads a base table and computes its statistics (ANALYZE).
@@ -113,6 +122,7 @@ class DatabaseServer : public RelationResolver {
     Result<TablePtr> ForeignFetch(const std::string& server,
                                   const std::string& relation) override;
     ComputeTrace* trace() override;
+    int exec_threads() const override;
 
    private:
     DatabaseServer* server_;
@@ -125,6 +135,7 @@ class DatabaseServer : public RelationResolver {
   EngineProfile profile_;
   Federation* fed_;
   std::map<std::string, CatalogEntry> catalog_;
+  int exec_threads_ = 0;  // 0 = hardware concurrency
   bool materializing_ = false;  // inside CREATE TABLE AS (marks fetches)
 
   friend class Context;

@@ -1,7 +1,10 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
+
+#include "src/common/thread_pool.h"
 
 namespace xdb {
 
@@ -28,42 +31,49 @@ double ComputeTrace::TotalRows() const {
 
 namespace {
 
-/// Hash of a multi-column key.
-struct KeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const auto& v : key) {
-      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
+// Morsel granules. Fixed constants — never derived from the worker count —
+// because morsel boundaries are part of the deterministic contract: output
+// row order and floating-point accumulation order depend only on the input,
+// so exec_threads=1 and exec_threads=N produce bit-identical results (and
+// therefore identical ComputeTrace counters, transfer volumes, and figure
+// reproductions).
+constexpr size_t kMorselRows = 4096;      // filter / project / join probe
+constexpr size_t kAggMorselRows = 16384;  // aggregation partial-state ranges
 
-struct KeyEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (a[i].is_null() || b[i].is_null()) return false;  // SQL semantics
-      if (a[i].Compare(b[i]) != 0) return false;
-    }
-    return true;
+/// Runs `fn(begin, end, buf)` over fixed-size morsels of [0, n), each morsel
+/// filling its own output buffer, then concatenates the buffers into `out`
+/// in morsel order. Row order is identical to a serial row-at-a-time loop
+/// for any worker count.
+template <typename MorselFn>
+void MorselParallelAppend(int workers, size_t n, Table* out,
+                          const MorselFn& fn) {
+  const size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<std::vector<Row>> buffers(num_morsels);
+  ParallelFor(workers, n, kMorselRows,
+              [&](size_t m, size_t begin, size_t end) {
+                fn(begin, end, &buffers[m]);
+              });
+  size_t total = 0;
+  for (const auto& buf : buffers) total += buf.size();
+  out->Reserve(out->num_rows() + total);
+  for (auto& buf : buffers) {
+    for (auto& row : buf) out->AppendRow(std::move(row));
   }
-};
+}
 
-/// Group-key equality must treat NULL == NULL (GROUP BY semantics), unlike
-/// join keys.
-struct GroupKeyEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (a[i].is_null() != b[i].is_null()) return false;
-      if (!a[i].is_null() && a[i].Compare(b[i]) != 0) return false;
-    }
-    return true;
+/// Serializes the key columns of `row` into `key` (cleared first) as a flat
+/// normalized byte string. Returns false when any key column is NULL (join
+/// keys never match on NULL).
+bool NormalizedJoinKey(const Row& row, const std::vector<int>& key_cols,
+                       std::string* key) {
+  key->clear();
+  for (int k : key_cols) {
+    const Value& v = row[static_cast<size_t>(k)];
+    if (v.is_null()) return false;
+    v.AppendNormalizedKey(key);
   }
-};
+  return true;
+}
 
 /// One aggregate's running state.
 struct AggState {
@@ -73,11 +83,38 @@ struct AggState {
   int64_t count = 0;
   Value min = Value::Null(TypeId::kInt64);
   Value max = Value::Null(TypeId::kInt64);
+
+  /// Folds a later partition's state into this one. Merge order is fixed
+  /// (partition order), keeping double summation associativity — and thus
+  /// SUM/AVG bits — independent of the worker count. Ties in MIN/MAX keep
+  /// the earlier partition's value, matching serial first-seen semantics.
+  void Merge(const AggState& o) {
+    sum += o.sum;
+    isum += o.isum;
+    int_sum = int_sum && o.int_sum;
+    count += o.count;
+    if (!o.min.is_null() && (min.is_null() || o.min.Compare(min) < 0)) {
+      min = o.min;
+    }
+    if (!o.max.is_null() && (max.is_null() || o.max.Compare(max) > 0)) {
+      max = o.max;
+    }
+  }
 };
+
+/// A group's representative key values plus per-aggregate states, keyed in
+/// the hash table by the normalized key bytes.
+struct GroupEntry {
+  Row key;
+  std::vector<AggState> states;
+};
+
+using GroupMap = std::unordered_map<std::string, GroupEntry>;
 
 Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
                           TablePtr left, TablePtr right) {
   ComputeTrace* trace = ctx->trace();
+  const int workers = ctx->exec_threads();
   Schema out_schema = plan.output_schema;
   auto out = std::make_shared<Table>(out_schema);
 
@@ -85,20 +122,31 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
     // Cross product (kept for completeness; the planners avoid it).
     trace->join_build_rows += static_cast<double>(right->num_rows());
     trace->join_probe_rows += static_cast<double>(left->num_rows());
-    for (const auto& lr : left->rows()) {
-      for (const auto& rr : right->rows()) {
-        Row row = lr;
-        row.insert(row.end(), rr.begin(), rr.end());
-        if (plan.residual && !EvalPredicate(*plan.residual, row)) continue;
-        out->AppendRow(std::move(row));
-      }
-    }
+    MorselParallelAppend(
+        workers, left->num_rows(), out.get(),
+        [&](size_t begin, size_t end, std::vector<Row>* buf) {
+          for (size_t i = begin; i < end; ++i) {
+            const Row& lr = left->row(i);
+            for (const auto& rr : right->rows()) {
+              Row row;
+              row.reserve(lr.size() + rr.size());
+              row.insert(row.end(), lr.begin(), lr.end());
+              row.insert(row.end(), rr.begin(), rr.end());
+              if (plan.residual && !EvalPredicate(*plan.residual, row)) {
+                continue;
+              }
+              buf->push_back(std::move(row));
+            }
+          }
+        });
     trace->join_output_rows += static_cast<double>(out->num_rows());
     return out;
   }
 
   // Hash join; build on the smaller input, probe with the larger, emitting
-  // rows in (left || right) schema order either way.
+  // rows in (left || right) schema order either way. The build side keys the
+  // table on normalized key bytes — one serialization per row instead of
+  // hashing and comparing vector<Value> on every probe.
   bool build_right = right->num_rows() <= left->num_rows();
   const Table& build = build_right ? *right : *left;
   const Table& probe = build_right ? *left : *right;
@@ -110,43 +158,39 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
   trace->join_build_rows += static_cast<double>(build.num_rows());
   trace->join_probe_rows += static_cast<double>(probe.num_rows());
 
-  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash, KeyEq>
-      ht;
+  std::unordered_map<std::string, std::vector<size_t>> ht;
   ht.reserve(build.num_rows());
-  for (size_t i = 0; i < build.num_rows(); ++i) {
-    std::vector<Value> key;
-    key.reserve(build_keys.size());
-    bool has_null = false;
-    for (int k : build_keys) {
-      const Value& v = build.row(i)[static_cast<size_t>(k)];
-      if (v.is_null()) has_null = true;
-      key.push_back(v);
+  {
+    std::string key;
+    for (size_t i = 0; i < build.num_rows(); ++i) {
+      if (!NormalizedJoinKey(build.row(i), build_keys, &key)) continue;
+      ht[key].push_back(i);
     }
-    if (has_null) continue;  // NULL keys never join
-    ht[std::move(key)].push_back(i);
   }
 
-  for (size_t i = 0; i < probe.num_rows(); ++i) {
-    std::vector<Value> key;
-    key.reserve(probe_keys.size());
-    bool has_null = false;
-    for (int k : probe_keys) {
-      const Value& v = probe.row(i)[static_cast<size_t>(k)];
-      if (v.is_null()) has_null = true;
-      key.push_back(v);
-    }
-    if (has_null) continue;
-    auto it = ht.find(key);
-    if (it == ht.end()) continue;
-    for (size_t j : it->second) {
-      const Row& lr = build_right ? probe.row(i) : build.row(j);
-      const Row& rr = build_right ? build.row(j) : probe.row(i);
-      Row row = lr;
-      row.insert(row.end(), rr.begin(), rr.end());
-      if (plan.residual && !EvalPredicate(*plan.residual, row)) continue;
-      out->AppendRow(std::move(row));
-    }
-  }
+  // Probe runs per-morsel; the build table is shared read-only.
+  MorselParallelAppend(
+      workers, probe.num_rows(), out.get(),
+      [&](size_t begin, size_t end, std::vector<Row>* buf) {
+        std::string key;
+        for (size_t i = begin; i < end; ++i) {
+          if (!NormalizedJoinKey(probe.row(i), probe_keys, &key)) continue;
+          auto it = ht.find(key);
+          if (it == ht.end()) continue;
+          for (size_t j : it->second) {
+            const Row& lr = build_right ? probe.row(i) : build.row(j);
+            const Row& rr = build_right ? build.row(j) : probe.row(i);
+            Row row;
+            row.reserve(lr.size() + rr.size());
+            row.insert(row.end(), lr.begin(), lr.end());
+            row.insert(row.end(), rr.begin(), rr.end());
+            if (plan.residual && !EvalPredicate(*plan.residual, row)) {
+              continue;
+            }
+            buf->push_back(std::move(row));
+          }
+        }
+      });
   trace->join_output_rows += static_cast<double>(out->num_rows());
   return out;
 }
@@ -154,58 +198,98 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
 Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
                                TablePtr input) {
   ComputeTrace* trace = ctx->trace();
+  const int workers = ctx->exec_threads();
   trace->agg_input_rows += static_cast<double>(input->num_rows());
 
   const size_t nkeys = plan.group_keys.size();
   const size_t naggs = plan.aggregates.size();
+  const size_t n = input->num_rows();
 
-  std::unordered_map<std::vector<Value>, std::vector<AggState>, KeyHash,
-                     GroupKeyEq>
-      groups;
+  // Partial aggregation over fixed row ranges, merged in range order. The
+  // range cut depends only on n, so accumulation order — and with it every
+  // SUM/AVG double — is identical for any worker count.
+  const size_t num_parts =
+      std::max<size_t>(1, (n + kAggMorselRows - 1) / kAggMorselRows);
+  std::vector<GroupMap> partials(num_parts);
   // Global aggregation (no GROUP BY) must yield one row even on empty input.
-  if (nkeys == 0) groups[{}] = std::vector<AggState>(naggs);
+  if (nkeys == 0) {
+    GroupEntry& e = partials[0][std::string()];
+    e.states.resize(naggs);
+  }
 
-  for (const auto& row : input->rows()) {
-    std::vector<Value> key;
-    key.reserve(nkeys);
-    for (const auto& g : plan.group_keys) key.push_back(EvalExpr(*g, row));
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) it->second.resize(naggs);
-    for (size_t a = 0; a < naggs; ++a) {
-      const Expr& agg = *plan.aggregates[a];
-      AggState& st = it->second[a];
-      if (agg.agg_kind == AggKind::kCountStar) {
+  ParallelFor(workers, n, kAggMorselRows, [&](size_t part, size_t begin,
+                                              size_t end) {
+    GroupMap& groups = partials[part];
+    std::string norm;
+    for (size_t r = begin; r < end; ++r) {
+      const Row& row = input->row(r);
+      norm.clear();
+      Row key_vals;
+      key_vals.reserve(nkeys);
+      for (const auto& g : plan.group_keys) {
+        key_vals.push_back(EvalExpr(*g, row));
+        key_vals.back().AppendNormalizedKey(&norm);
+      }
+      auto [it, inserted] = groups.try_emplace(norm);
+      if (inserted) {
+        it->second.key = std::move(key_vals);
+        it->second.states.resize(naggs);
+      }
+      for (size_t a = 0; a < naggs; ++a) {
+        const Expr& agg = *plan.aggregates[a];
+        AggState& st = it->second.states[a];
+        if (agg.agg_kind == AggKind::kCountStar) {
+          ++st.count;
+          continue;
+        }
+        Value v = EvalExpr(*agg.children[0], row);
+        if (v.is_null()) continue;  // SQL aggregates skip NULLs
         ++st.count;
+        switch (agg.agg_kind) {
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            if (v.type() == TypeId::kDouble) st.int_sum = false;
+            st.sum += v.AsDouble();
+            st.isum += v.type() == TypeId::kDouble ? 0 : v.int64_value();
+            break;
+          case AggKind::kMin:
+            if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+            break;
+          case AggKind::kMax:
+            if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  });
+
+  // Deterministic merge: partitions fold into the first map in range order,
+  // so the merged map's contents (and its iteration order, which sets the
+  // output row order) are a pure function of the input.
+  GroupMap merged = std::move(partials[0]);
+  for (size_t p = 1; p < partials.size(); ++p) {
+    for (auto& [key, entry] : partials[p]) {
+      auto [it, inserted] = merged.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(entry);
         continue;
       }
-      Value v = EvalExpr(*agg.children[0], row);
-      if (v.is_null()) continue;  // SQL aggregates skip NULLs
-      ++st.count;
-      switch (agg.agg_kind) {
-        case AggKind::kSum:
-        case AggKind::kAvg:
-          if (v.type() == TypeId::kDouble) st.int_sum = false;
-          st.sum += v.AsDouble();
-          st.isum += v.type() == TypeId::kDouble ? 0 : v.int64_value();
-          break;
-        case AggKind::kMin:
-          if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
-          break;
-        case AggKind::kMax:
-          if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
-          break;
-        default:
-          break;
+      for (size_t a = 0; a < naggs; ++a) {
+        it->second.states[a].Merge(entry.states[a]);
       }
     }
   }
 
   auto out = std::make_shared<Table>(plan.output_schema);
-  for (auto& [key, states] : groups) {
-    Row row = key;
+  out->Reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    Row row = std::move(entry.key);
+    row.reserve(nkeys + naggs);
     for (size_t a = 0; a < naggs; ++a) {
       const Expr& agg = *plan.aggregates[a];
-      const AggState& st = states[a];
+      const AggState& st = entry.states[a];
       switch (agg.agg_kind) {
         case AggKind::kCountStar:
         case AggKind::kCount:
@@ -229,10 +313,20 @@ Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
           }
           break;
         case AggKind::kMin:
-          row.push_back(st.min);
+          // An all-NULL (or empty) group yields a NULL of the aggregate's
+          // inferred type, not the AggState's kInt64 placeholder.
+          if (st.min.is_null()) {
+            row.push_back(Value::Null(InferType(plan.aggregates[a])));
+          } else {
+            row.push_back(st.min);
+          }
           break;
         case AggKind::kMax:
-          row.push_back(st.max);
+          if (st.max.is_null()) {
+            row.push_back(Value::Null(InferType(plan.aggregates[a])));
+          } else {
+            row.push_back(st.max);
+          }
           break;
       }
     }
@@ -263,22 +357,34 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
       trace->filter_input_rows += static_cast<double>(in->num_rows());
       auto out = std::make_shared<Table>(plan.output_schema);
-      for (const auto& row : in->rows()) {
-        if (EvalPredicate(*plan.predicate, row)) out->AppendRow(row);
-      }
+      MorselParallelAppend(
+          ctx->exec_threads(), in->num_rows(), out.get(),
+          [&](size_t begin, size_t end, std::vector<Row>* buf) {
+            for (size_t i = begin; i < end; ++i) {
+              const Row& row = in->row(i);
+              if (EvalPredicate(*plan.predicate, row)) buf->push_back(row);
+            }
+          });
       return out;
     }
     case PlanKind::kProject: {
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
       trace->project_rows += static_cast<double>(in->num_rows());
       auto out = std::make_shared<Table>(plan.output_schema);
-      for (const auto& row : in->rows()) {
-        Row projected;
-        projected.reserve(plan.exprs.size());
-        for (const auto& e : plan.exprs) projected.push_back(
-            EvalExpr(*e, row));
-        out->AppendRow(std::move(projected));
-      }
+      MorselParallelAppend(
+          ctx->exec_threads(), in->num_rows(), out.get(),
+          [&](size_t begin, size_t end, std::vector<Row>* buf) {
+            buf->reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              const Row& row = in->row(i);
+              Row projected;
+              projected.reserve(plan.exprs.size());
+              for (const auto& e : plan.exprs) {
+                projected.push_back(EvalExpr(*e, row));
+              }
+              buf->push_back(std::move(projected));
+            }
+          });
       return out;
     }
     case PlanKind::kJoin: {
@@ -337,6 +443,7 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
       auto out = std::make_shared<Table>(plan.output_schema);
       size_t n = std::min<size_t>(static_cast<size_t>(plan.limit),
                                   in->num_rows());
+      out->Reserve(n);
       for (size_t i = 0; i < n; ++i) out->AppendRow(in->row(i));
       return out;
     }

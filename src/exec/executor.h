@@ -51,6 +51,11 @@ class ExecContext {
 
   /// Row-flow counters for this execution.
   virtual ComputeTrace* trace() = 0;
+
+  /// Worker budget for morsel-driven operators (Filter/Project/join probe/
+  /// Aggregate). 1 — the default — runs every morsel inline on the calling
+  /// thread; results are bit-identical for any value (see ParallelFor).
+  virtual int exec_threads() const { return 1; }
 };
 
 /// \brief Executes a fully bound logical plan, materialising each operator.
@@ -58,6 +63,10 @@ class ExecContext {
 /// Pipelining is modelled in the timing layer, not here: materialising
 /// per-operator keeps the executor simple and does not change row/byte
 /// accounting, which is what the reproduction's metrics derive from.
+/// Hot operators run morsel-parallel when ctx->exec_threads() > 1; the
+/// morsel layout is fixed, so results, row orders, and all trace counters
+/// are bit-identical to serial execution (DESIGN.md, "Parallel execution
+/// vs. the timing model").
 Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
 
 }  // namespace xdb

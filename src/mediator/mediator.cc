@@ -50,6 +50,9 @@ MediatorSystem::MediatorSystem(Federation* fed, MediatorKind kind,
   // federation, so it is not part of the global schema).
   for (const auto& name : fed_->ServerNames()) {
     DatabaseServer* server = fed_->GetServer(name);
+    if (options_.exec_threads > 0) {
+      server->set_exec_threads(options_.exec_threads);
+    }
     auto dc = std::make_unique<DbmsConnector>(server, Dialect::Postgres(),
                                               fed_, mediator_name_);
     connector_ptrs_[name] = dc.get();
@@ -60,6 +63,9 @@ MediatorSystem::MediatorSystem(Federation* fed, MediatorKind kind,
   mediator_ = fed_->GetServer(mediator_name_);
   if (mediator_ == nullptr) {
     mediator_ = fed_->AddServer(mediator_name_, profile);
+  }
+  if (options_.exec_threads > 0) {
+    mediator_->set_exec_threads(options_.exec_threads);
   }
   // The mediator issues DDL to itself with zero-latency "round trips".
   auto self = std::make_unique<DbmsConnector>(mediator_, Dialect::Postgres(),

@@ -125,6 +125,7 @@ TablePtr DbGen::Supplier() {
                                            {"s_nationkey", TypeId::kInt64},
                                            {"s_phone", TypeId::kString},
                                            {"s_acctbal", TypeId::kDouble}}));
+  t->Reserve(static_cast<size_t>(suppliers_));
   uint64_t rng = seed_ ^ 0x5u;
   for (int64_t i = 1; i <= suppliers_; ++i) {
     int64_t nation = Uniform(&rng, 0, 24);
@@ -148,6 +149,7 @@ TablePtr DbGen::Customer() {
               {"c_phone", TypeId::kString},
               {"c_acctbal", TypeId::kDouble},
               {"c_mktsegment", TypeId::kString}}));
+  t->Reserve(static_cast<size_t>(customers_));
   uint64_t rng = seed_ ^ 0xCu;
   for (int64_t i = 1; i <= customers_; ++i) {
     int64_t nation = Uniform(&rng, 0, 24);
@@ -172,6 +174,7 @@ TablePtr DbGen::Part() {
               {"p_type", TypeId::kString},
               {"p_size", TypeId::kInt64},
               {"p_retailprice", TypeId::kDouble}}));
+  t->Reserve(static_cast<size_t>(parts_));
   uint64_t rng = seed_ ^ 0x9u;
   for (int64_t i = 1; i <= parts_; ++i) {
     // Two color words per name (TPC-H uses 5 of 92 words; Q9 matches
@@ -201,6 +204,7 @@ TablePtr DbGen::PartSupp() {
               {"ps_suppkey", TypeId::kInt64},
               {"ps_availqty", TypeId::kInt64},
               {"ps_supplycost", TypeId::kDouble}}));
+  t->Reserve(static_cast<size_t>(4 * parts_));
   uint64_t rng = seed_ ^ 0x25u;
   for (int64_t p = 1; p <= parts_; ++p) {
     for (int64_t j = 0; j < 4; ++j) {
@@ -221,6 +225,7 @@ TablePtr DbGen::Orders() {
               {"o_orderdate", TypeId::kDate},
               {"o_orderpriority", TypeId::kString},
               {"o_shippriority", TypeId::kInt64}}));
+  t->Reserve(static_cast<size_t>(orders_));
   uint64_t rng = seed_ ^ 0x0Fu;
   for (int64_t i = 1; i <= orders_; ++i) {
     int64_t date = Uniform(&rng, kStartDate, kLastOrderDate);
@@ -253,6 +258,7 @@ TablePtr DbGen::Lineitem() {
               {"l_shipmode", TypeId::kString}}));
   // Regenerate order dates with the same stream so line dates stay
   // consistent with their order.
+  t->Reserve(static_cast<size_t>(4 * orders_));  // ~4 lines/order mean
   uint64_t order_rng = seed_ ^ 0x0Fu;
   uint64_t rng = seed_ ^ 0x11u;
   for (int64_t o = 1; o <= orders_; ++o) {

@@ -36,6 +36,11 @@ class Table {
 
   void AppendRow(Row row) { rows_.push_back(std::move(row)); }
 
+  /// Pre-sizes the row vector for `n` total rows (see std::vector::reserve);
+  /// output paths that know their cardinality use this to avoid repeated
+  /// reallocation while appending.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
   /// Total approximate serialized size of all rows.
   size_t SerializedSize() const;
 

@@ -105,6 +105,14 @@ class Value {
   /// Hash combining type class and payload; equal values hash equally.
   size_t Hash() const;
 
+  /// Appends a normalized-key encoding of this value to `out`: byte strings
+  /// that are equal exactly when the values are equal under Compare()
+  /// (including NULL == NULL and cross-numeric equality like 1 == 1.0), and
+  /// unambiguous under concatenation, so a multi-column join/group key can be
+  /// serialized once into a flat std::string and hashed/compared as raw
+  /// bytes instead of re-hashing a vector<Value> per probe.
+  void AppendNormalizedKey(std::string* out) const;
+
   /// SQL-literal rendering: strings quoted, dates as DATE '...', NULL as NULL.
   std::string ToSqlLiteral() const;
 

@@ -29,6 +29,11 @@ XdbSystem::XdbSystem(Federation* fed, XdbOptions options)
   fed_->network().AddNode(options_.middleware_node);
   for (const auto& name : fed_->ServerNames()) {
     DatabaseServer* server = fed_->GetServer(name);
+    // >0 only: a default-constructed system must not clobber an explicit
+    // per-server setting (federations are shared across systems in benches).
+    if (options_.exec_threads > 0) {
+      server->set_exec_threads(options_.exec_threads);
+    }
     auto dc = std::make_unique<DbmsConnector>(
         server, DialectForVendor(server->profile().vendor), fed_,
         options_.middleware_node);

@@ -33,6 +33,11 @@ struct XdbOptions {
   /// examples switch it off to show the deployed cascade).
   bool cleanup_after_query = true;
 
+  /// Morsel-parallel worker budget applied to every component DBMS's
+  /// executor: 0 = hardware concurrency (default), 1 = legacy serial path.
+  /// Wall-clock only; modelled times and traces are identical either way.
+  int exec_threads = 0;
+
   // Control-plane cost constants (seconds per round trip, on top of link
   // latency). Calibrated so prep+lopt+ann stays in the paper's <=10 s band.
   double parse_analyze_cost = 0.05;

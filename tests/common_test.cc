@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <vector>
+
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/types/table.h"
 
 namespace xdb {
@@ -116,6 +121,92 @@ TEST(SchemaTest, LookupAndConcat) {
   EXPECT_EQ(c.num_fields(), 3u);
   EXPECT_EQ(c.field(2).name, "z");
   EXPECT_EQ(c.ToString(), "(x:int64, y:string, z:double)");
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int workers : {1, 2, 4, 8}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{100},
+                     size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      ParallelFor(workers, n, /*morsel_rows=*/17,
+                  [&](size_t, size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) hits[i]++;
+                  });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "workers=" << workers << " n=" << n
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, MorselBoundariesIndependentOfWorkers) {
+  // The determinism contract: morsel (index, begin, end) triples depend
+  // only on (n, morsel_rows), never on the worker count.
+  auto layout = [](int workers) {
+    std::vector<std::array<size_t, 3>> morsels(8);  // ceil(100/13)
+    ParallelFor(workers, 100, 13, [&](size_t m, size_t b, size_t e) {
+      morsels[m] = {m, b, e};
+    });
+    return morsels;
+  };
+  auto one = layout(1);
+  for (int workers : {2, 4}) {
+    EXPECT_EQ(layout(workers), one) << workers;
+  }
+  EXPECT_EQ(one[0], (std::array<size_t, 3>{0, 0, 13}));
+  EXPECT_EQ(one[7], (std::array<size_t, 3>{7, 91, 100}));
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  // A worker that itself calls ParallelFor must not deadlock waiting for
+  // pool threads that are all busy; nested calls degrade to inline loops.
+  std::atomic<int> total{0};
+  ParallelFor(4, 64, 8, [&](size_t, size_t begin, size_t end) {
+    ParallelFor(4, end - begin, 2, [&](size_t, size_t b, size_t e) {
+      total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+std::string Norm(const Value& v) {
+  std::string s;
+  v.AppendNormalizedKey(&s);
+  return s;
+}
+
+TEST(NormalizedKeyTest, EqualUnderCompareMeansEqualBytes) {
+  // The hash-join/aggregate key encoding must agree with Value::Compare
+  // equality across types (1 == 1.0 == true as grouping keys).
+  EXPECT_EQ(Norm(Value::Int64(1)), Norm(Value::Double(1.0)));
+  EXPECT_EQ(Norm(Value::Int64(1)), Norm(Value::Bool(true)));
+  EXPECT_EQ(Norm(Value::Int64(0)), Norm(Value::Double(-0.0)));
+  EXPECT_EQ(Norm(Value::Double(0.0)), Norm(Value::Double(-0.0)));
+  EXPECT_NE(Norm(Value::Int64(1)), Norm(Value::Int64(2)));
+  EXPECT_NE(Norm(Value::Double(1.5)), Norm(Value::Int64(1)));
+  EXPECT_NE(Norm(Value::Double(1.5)), Norm(Value::Double(1.25)));
+  EXPECT_EQ(Norm(Value::String("ab")), Norm(Value::String("ab")));
+  EXPECT_NE(Norm(Value::String("ab")), Norm(Value::String("ac")));
+}
+
+TEST(NormalizedKeyTest, NullsAndEmptyStringsAreDistinct) {
+  EXPECT_EQ(Norm(Value::Null(TypeId::kInt64)),
+            Norm(Value::Null(TypeId::kString)));  // NULL groups merge
+  EXPECT_NE(Norm(Value::Null(TypeId::kString)), Norm(Value::String("")));
+  EXPECT_NE(Norm(Value::Null(TypeId::kInt64)), Norm(Value::Int64(0)));
+}
+
+TEST(NormalizedKeyTest, MultiColumnConcatenationIsUnambiguous) {
+  // ("ab","c") must not collide with ("a","bc"): strings are
+  // length-prefixed before their bytes.
+  std::string k1, k2;
+  Value::String("ab").AppendNormalizedKey(&k1);
+  Value::String("c").AppendNormalizedKey(&k1);
+  Value::String("a").AppendNormalizedKey(&k2);
+  Value::String("bc").AppendNormalizedKey(&k2);
+  EXPECT_NE(k1, k2);
 }
 
 }  // namespace

@@ -271,6 +271,40 @@ TEST(ExecutorTest, AggregatesSkipNulls) {
   EXPECT_EQ(row[5].int64_value(), 30);
 }
 
+TEST(ExecutorTest, MinMaxOverAllNullGroupReturnsTypedNull) {
+  // Regression: MIN/MAX over a group whose inputs are all NULL used to
+  // return a kInt64-typed NULL regardless of the column type, so a
+  // downstream comparison against a string/double column misbehaved.
+  FakeContext ctx;
+  auto t = MakeTable(Schema({{"g", TypeId::kInt64},
+                             {"s", TypeId::kString},
+                             {"d", TypeId::kDouble}}),
+                     {{Value::Int64(1), Value::Null(TypeId::kString),
+                       Value::Null(TypeId::kDouble)},
+                      {Value::Int64(1), Value::Null(TypeId::kString),
+                       Value::Null(TypeId::kDouble)}});
+  ctx.Add("t", t);
+  auto plan = AggPlan(
+      ScanOf("t", t), {Expr::BoundColumn(0, TypeId::kInt64, "g")},
+      {Expr::Aggregate(AggKind::kMin,
+                       Expr::BoundColumn(1, TypeId::kString, "s")),
+       Expr::Aggregate(AggKind::kMax,
+                       Expr::BoundColumn(1, TypeId::kString, "s")),
+       Expr::Aggregate(AggKind::kMin,
+                       Expr::BoundColumn(2, TypeId::kDouble, "d")),
+       Expr::Aggregate(AggKind::kMax,
+                       Expr::BoundColumn(2, TypeId::kDouble, "d"))});
+  auto out = ExecutePlan(*plan, &ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ((*out)->num_rows(), 1u);
+  const Row& row = (*out)->row(0);
+  for (int c = 1; c <= 4; ++c) EXPECT_TRUE(row[c].is_null()) << c;
+  EXPECT_EQ(row[1].type(), TypeId::kString);
+  EXPECT_EQ(row[2].type(), TypeId::kString);
+  EXPECT_EQ(row[3].type(), TypeId::kDouble);
+  EXPECT_EQ(row[4].type(), TypeId::kDouble);
+}
+
 TEST(ExecutorTest, GroupByNullIsItsOwnGroup) {
   FakeContext ctx;
   auto t = MakeTable(Ab(), {{Value::Null(TypeId::kInt64), Value::Int64(1)},

@@ -1,0 +1,175 @@
+// Determinism of the morsel-driven parallel executor: for the paper's
+// evaluation queries, exec_threads=1 (legacy serial) and exec_threads=4 must
+// produce bit-identical result tables, ComputeTrace counters, and transfer
+// records. This is what keeps every figure reproduction valid — wall-clock
+// parallelism must never leak into modelled quantities (DESIGN.md,
+// "Parallel execution vs. the timing model").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/thread_pool.h"
+#include "src/dbms/federation.h"
+#include "src/dbms/server.h"
+#include "src/tpch/distributions.h"
+#include "src/tpch/queries.h"
+#include "src/xdb/xdb.h"
+
+namespace xdb {
+namespace {
+
+constexpr double kSf = 0.002;  // lineitem ~12k rows — several morsels
+
+/// Bitwise value equality: doubles must match to the bit, not within a
+/// tolerance — that is the determinism contract under test.
+bool BitEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type() || a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  switch (a.type()) {
+    case TypeId::kString:
+      return a.string_value() == b.string_value();
+    case TypeId::kDouble: {
+      double x = a.double_value(), y = b.double_value();
+      return std::memcmp(&x, &y, sizeof(x)) == 0;
+    }
+    default:
+      return a.int64_value() == b.int64_value();
+  }
+}
+
+std::vector<Row> Sorted(const Table& t) {
+  std::vector<Row> rows = t.rows();
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+void ExpectTracesEqual(const ComputeTrace& a, const ComputeTrace& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.scan_rows, b.scan_rows) << label;
+  EXPECT_EQ(a.foreign_rows, b.foreign_rows) << label;
+  EXPECT_EQ(a.filter_input_rows, b.filter_input_rows) << label;
+  EXPECT_EQ(a.project_rows, b.project_rows) << label;
+  EXPECT_EQ(a.join_build_rows, b.join_build_rows) << label;
+  EXPECT_EQ(a.join_probe_rows, b.join_probe_rows) << label;
+  EXPECT_EQ(a.join_output_rows, b.join_output_rows) << label;
+  EXPECT_EQ(a.agg_input_rows, b.agg_input_rows) << label;
+  EXPECT_EQ(a.agg_output_rows, b.agg_output_rows) << label;
+  EXPECT_EQ(a.sort_rows, b.sort_rows) << label;
+  EXPECT_EQ(a.materialized_rows, b.materialized_rows) << label;
+  EXPECT_EQ(a.output_rows, b.output_rows) << label;
+}
+
+struct Bed {
+  std::unique_ptr<Federation> fed;
+  std::unique_ptr<XdbSystem> xdb;
+};
+
+Bed MakeBed(int exec_threads) {
+  Bed bed;
+  bed.fed = tpch::BuildTpchFederation(kSf, tpch::TD1());
+  XdbOptions opts;
+  opts.exec_threads = exec_threads;
+  bed.xdb = std::make_unique<XdbSystem>(bed.fed.get(), opts);
+  return bed;
+}
+
+TEST(ParallelExecTest, SerialAndParallelRunsAreBitIdentical) {
+  Bed serial = MakeBed(1);
+  Bed parallel = MakeBed(4);
+  for (const char* qid : {"Q3", "Q5", "Q10"}) {
+    const auto* q = tpch::FindQuery(qid);
+    ASSERT_NE(q, nullptr) << qid;
+    auto rs = serial.xdb->Query(q->sql);
+    auto rp = parallel.xdb->Query(q->sql);
+    ASSERT_TRUE(rs.ok()) << qid << ": " << rs.status().ToString();
+    ASSERT_TRUE(rp.ok()) << qid << ": " << rp.status().ToString();
+
+    // Result tables: identical rows, bit-for-bit (order-insensitive — the
+    // two runs use distinct federations, so we only canonicalize).
+    ASSERT_EQ(rs->result->num_rows(), rp->result->num_rows()) << qid;
+    auto srows = Sorted(*rs->result), prows = Sorted(*rp->result);
+    for (size_t i = 0; i < srows.size(); ++i) {
+      ASSERT_EQ(srows[i].size(), prows[i].size()) << qid;
+      for (size_t c = 0; c < srows[i].size(); ++c) {
+        EXPECT_TRUE(BitEqual(srows[i][c], prows[i][c]))
+            << qid << " row " << i << " col " << c << ": "
+            << srows[i][c].ToString() << " vs " << prows[i][c].ToString();
+      }
+    }
+
+    // Every compute counter, per server and at the root.
+    ExpectTracesEqual(rs->trace.root_compute, rp->trace.root_compute,
+                      std::string(qid) + "/root");
+    ASSERT_EQ(rs->trace.per_server.size(), rp->trace.per_server.size());
+    for (const auto& [server, trace] : rs->trace.per_server) {
+      auto it = rp->trace.per_server.find(server);
+      ASSERT_NE(it, rp->trace.per_server.end()) << qid << "/" << server;
+      ExpectTracesEqual(trace, it->second, std::string(qid) + "/" + server);
+    }
+
+    // Every transfer record: same fetch tree, same byte counts to the digit.
+    ASSERT_EQ(rs->trace.transfers.size(), rp->trace.transfers.size()) << qid;
+    for (size_t i = 0; i < rs->trace.transfers.size(); ++i) {
+      const auto& ts = rs->trace.transfers[i];
+      const auto& tp = rp->trace.transfers[i];
+      EXPECT_EQ(ts.id, tp.id) << qid;
+      EXPECT_EQ(ts.parent_id, tp.parent_id) << qid;
+      EXPECT_EQ(ts.src, tp.src) << qid;
+      EXPECT_EQ(ts.dst, tp.dst) << qid;
+      EXPECT_EQ(ts.relation, tp.relation) << qid;
+      EXPECT_EQ(ts.rows, tp.rows) << qid << " transfer " << i;
+      EXPECT_EQ(ts.bytes, tp.bytes) << qid << " transfer " << i;
+      EXPECT_EQ(ts.messages, tp.messages) << qid << " transfer " << i;
+      EXPECT_EQ(ts.materialized, tp.materialized) << qid;
+      ExpectTracesEqual(ts.producer_compute, tp.producer_compute,
+                        std::string(qid) + "/transfer" + std::to_string(i));
+    }
+
+    // Modelled times derive from the above; spot-check they agree too.
+    EXPECT_EQ(rs->exec_timing.total, rp->exec_timing.total) << qid;
+    EXPECT_EQ(rs->transferred_bytes(), rp->transferred_bytes()) << qid;
+  }
+}
+
+TEST(ParallelExecTest, RepeatedParallelRunsAreStable) {
+  // Dynamic morsel stealing must not leak scheduling nondeterminism into
+  // results: the same federation queried twice returns identical tables.
+  Bed bed = MakeBed(4);
+  const auto* q = tpch::FindQuery("Q5");
+  auto r1 = bed.xdb->Query(q->sql);
+  auto r2 = bed.xdb->Query(q->sql);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r1->result->num_rows(), r2->result->num_rows());
+  for (size_t i = 0; i < r1->result->num_rows(); ++i) {
+    const Row& a = r1->result->row(i);
+    const Row& b = r2->result->row(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_TRUE(BitEqual(a[c], b[c])) << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(ParallelExecTest, ServerKnobResolvesHardwareDefault) {
+  Federation fed;
+  auto* s = fed.AddServer("s", EngineProfile{});
+  EXPECT_EQ(s->exec_threads(), DefaultExecThreads());
+  s->set_exec_threads(1);
+  EXPECT_EQ(s->exec_threads(), 1);
+  s->set_exec_threads(3);
+  EXPECT_EQ(s->exec_threads(), 3);
+  s->set_exec_threads(0);
+  EXPECT_EQ(s->exec_threads(), DefaultExecThreads());
+}
+
+}  // namespace
+}  // namespace xdb

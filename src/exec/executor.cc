@@ -1,10 +1,12 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/thread_pool.h"
+#include "src/expr/vector_eval.h"
 
 namespace xdb {
 
@@ -73,6 +75,81 @@ bool NormalizedJoinKey(const Row& row, const std::vector<int>& key_cols,
     v.AppendNormalizedKey(key);
   }
   return true;
+}
+
+/// \brief Hash-partitioned join build table.
+///
+/// Build rows are partitioned by the hash of their normalized key and each
+/// partition's map is built concurrently. The partition a key lands in is a
+/// pure function of the key (never of the worker count), each partition
+/// receives its row indices in ascending original order (morsels are drained
+/// in morsel order), and probes look a key up in exactly one partition — so
+/// match lists, first-occurrence tie order, and the emitted row order are
+/// bit-identical to the old single-threaded single-map build for any
+/// `exec_threads`.
+struct PartitionedJoinTable {
+  using Partition = std::unordered_map<std::string, std::vector<size_t>>;
+
+  size_t num_partitions = 1;
+  std::vector<Partition> parts;
+
+  static size_t PartitionOf(const std::string& key, size_t num_partitions) {
+    return std::hash<std::string>{}(key) % num_partitions;
+  }
+
+  const std::vector<size_t>* Find(const std::string& key) const {
+    const Partition& p = parts[PartitionOf(key, num_partitions)];
+    auto it = p.find(key);
+    return it == p.end() ? nullptr : &it->second;
+  }
+};
+
+PartitionedJoinTable BuildJoinTable(const Table& build,
+                                    const std::vector<int>& build_keys,
+                                    int workers) {
+  const size_t n = build.num_rows();
+  PartitionedJoinTable ht;
+  ht.num_partitions =
+      std::min<size_t>(64, static_cast<size_t>(std::max(1, workers)));
+  ht.parts.resize(ht.num_partitions);
+
+  // Phase 1 (morsel-parallel): serialize every row's normalized key once and
+  // bucket row indices by target partition, per morsel.
+  const size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<std::string> keys(n);
+  std::vector<std::vector<std::vector<uint32_t>>> morsel_buckets(num_morsels);
+  ParallelFor(workers, n, kMorselRows,
+              [&](size_t m, size_t begin, size_t end) {
+                auto& buckets = morsel_buckets[m];
+                buckets.resize(ht.num_partitions);
+                for (size_t i = begin; i < end; ++i) {
+                  if (!NormalizedJoinKey(build.row(i), build_keys, &keys[i])) {
+                    continue;  // NULL key columns never match
+                  }
+                  buckets[PartitionedJoinTable::PartitionOf(
+                              keys[i], ht.num_partitions)]
+                      .push_back(static_cast<uint32_t>(i));
+                }
+              });
+
+  // Phase 2 (partition-parallel): each partition drains its buckets in
+  // morsel order, so per-key index lists stay in ascending build-row order —
+  // the serial first-occurrence semantics.
+  ParallelFor(workers, ht.num_partitions, 1,
+              [&](size_t p, size_t /*begin*/, size_t /*end*/) {
+                auto& part = ht.parts[p];
+                size_t total = 0;
+                for (const auto& buckets : morsel_buckets) {
+                  total += buckets[p].size();
+                }
+                part.reserve(total);
+                for (const auto& buckets : morsel_buckets) {
+                  for (uint32_t i : buckets[p]) {
+                    part[keys[i]].push_back(i);
+                  }
+                }
+              });
+  return ht;
 }
 
 /// One aggregate's running state.
@@ -158,26 +235,26 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
   trace->join_build_rows += static_cast<double>(build.num_rows());
   trace->join_probe_rows += static_cast<double>(probe.num_rows());
 
-  std::unordered_map<std::string, std::vector<size_t>> ht;
-  ht.reserve(build.num_rows());
-  {
-    std::string key;
-    for (size_t i = 0; i < build.num_rows(); ++i) {
-      if (!NormalizedJoinKey(build.row(i), build_keys, &key)) continue;
-      ht[key].push_back(i);
-    }
-  }
+  const PartitionedJoinTable ht = BuildJoinTable(build, build_keys, workers);
 
-  // Probe runs per-morsel; the build table is shared read-only.
+  // Probe runs per-morsel; the partitioned build table is shared read-only.
+  // Each morsel first extracts all its probe keys in one batch pass (one
+  // Value::AppendNormalizedKey sweep), then probes.
   MorselParallelAppend(
       workers, probe.num_rows(), out.get(),
       [&](size_t begin, size_t end, std::vector<Row>* buf) {
-        std::string key;
+        const size_t m = end - begin;
+        std::vector<std::string> keys(m);
+        std::vector<uint8_t> valid(m);
         for (size_t i = begin; i < end; ++i) {
-          if (!NormalizedJoinKey(probe.row(i), probe_keys, &key)) continue;
-          auto it = ht.find(key);
-          if (it == ht.end()) continue;
-          for (size_t j : it->second) {
+          valid[i - begin] =
+              NormalizedJoinKey(probe.row(i), probe_keys, &keys[i - begin]);
+        }
+        for (size_t i = begin; i < end; ++i) {
+          if (!valid[i - begin]) continue;
+          const std::vector<size_t>* matches = ht.Find(keys[i - begin]);
+          if (matches == nullptr) continue;
+          for (size_t j : *matches) {
             const Row& lr = build_right ? probe.row(i) : build.row(j);
             const Row& rr = build_right ? build.row(j) : probe.row(i);
             Row row;
@@ -360,10 +437,11 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
           [&](size_t begin, size_t end, std::vector<Row>* buf) {
-            for (size_t i = begin; i < end; ++i) {
-              const Row& row = in->row(i);
-              if (EvalPredicate(*plan.predicate, row)) buf->push_back(row);
-            }
+            buf->reserve(end - begin);
+            SelVector sel;
+            SelRange(begin, end, &sel);
+            EvalPredicateBatch(*plan.predicate, in->rows(), &sel);
+            for (uint32_t i : sel) buf->push_back(in->row(i));
           });
       return out;
     }
@@ -374,13 +452,21 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
           [&](size_t begin, size_t end, std::vector<Row>* buf) {
-            buf->reserve(end - begin);
-            for (size_t i = begin; i < end; ++i) {
-              const Row& row = in->row(i);
+            const size_t m = end - begin;
+            buf->reserve(m);
+            SelVector sel;
+            SelRange(begin, end, &sel);
+            // Batch-evaluate each output expression down its column, then
+            // transpose the column vectors into output rows.
+            std::vector<std::vector<Value>> cols(plan.exprs.size());
+            for (size_t c = 0; c < plan.exprs.size(); ++c) {
+              EvalExprBatch(*plan.exprs[c], in->rows(), sel, &cols[c]);
+            }
+            for (size_t i = 0; i < m; ++i) {
               Row projected;
               projected.reserve(plan.exprs.size());
-              for (const auto& e : plan.exprs) {
-                projected.push_back(EvalExpr(*e, row));
+              for (size_t c = 0; c < plan.exprs.size(); ++c) {
+                projected.push_back(std::move(cols[c][i]));
               }
               buf->push_back(std::move(projected));
             }

@@ -393,10 +393,15 @@ Value EvalBinary(const Expr& e, const Row& row) {
     return Value::Bool(is_and);
   }
 
-  Value l = EvalExpr(*e.children[0], row);
-  Value r = EvalExpr(*e.children[1], row);
+  return EvalBinaryValues(e.binary_op,
+                          EvalExpr(*e.children[0], row),
+                          EvalExpr(*e.children[1], row));
+}
 
-  switch (e.binary_op) {
+}  // namespace
+
+Value EvalBinaryValues(BinaryOp op, const Value& l, const Value& r) {
+  switch (op) {
     case BinaryOp::kAdd:
     case BinaryOp::kSub:
     case BinaryOp::kMul:
@@ -405,22 +410,21 @@ Value EvalBinary(const Expr& e, const Row& row) {
         return Value::Null(TypeId::kDouble);
       }
       bool as_int = l.type() != TypeId::kDouble &&
-                    r.type() != TypeId::kDouble &&
-                    e.binary_op != BinaryOp::kDiv;
+                    r.type() != TypeId::kDouble && op != BinaryOp::kDiv;
       if (as_int) {
         int64_t a = l.int64_value(), b = r.int64_value();
-        int64_t out = e.binary_op == BinaryOp::kAdd   ? a + b
-                      : e.binary_op == BinaryOp::kSub ? a - b
-                                                      : a * b;
+        int64_t out = op == BinaryOp::kAdd   ? a + b
+                      : op == BinaryOp::kSub ? a - b
+                                             : a * b;
         // Date +/- integer stays a date.
         if ((l.type() == TypeId::kDate || r.type() == TypeId::kDate) &&
-            e.binary_op != BinaryOp::kMul) {
+            op != BinaryOp::kMul) {
           return Value::Date(out);
         }
         return Value::Int64(out);
       }
       double a = l.AsDouble(), b = r.AsDouble();
-      switch (e.binary_op) {
+      switch (op) {
         case BinaryOp::kAdd: return Value::Double(a + b);
         case BinaryOp::kSub: return Value::Double(a - b);
         case BinaryOp::kMul: return Value::Double(a * b);
@@ -432,7 +436,7 @@ Value EvalBinary(const Expr& e, const Row& row) {
     default: {
       if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
       int c = l.Compare(r);
-      switch (e.binary_op) {
+      switch (op) {
         case BinaryOp::kEq: return Value::Bool(c == 0);
         case BinaryOp::kNe: return Value::Bool(c != 0);
         case BinaryOp::kLt: return Value::Bool(c < 0);
@@ -445,7 +449,24 @@ Value EvalBinary(const Expr& e, const Row& row) {
   }
 }
 
-}  // namespace
+Value EvalUnaryValue(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(!v.bool_value());
+    case UnaryOp::kNeg:
+      if (v.is_null()) return v;
+      if (v.type() == TypeId::kDouble) {
+        return Value::Double(-v.double_value());
+      }
+      return Value::Int64(-v.int64_value());
+    case UnaryOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnaryOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+  }
+  return Value::Null(TypeId::kBool);
+}
 
 Value EvalExpr(const Expr& expr, const Row& row) {
   switch (expr.kind) {
@@ -455,25 +476,8 @@ Value EvalExpr(const Expr& expr, const Row& row) {
       return expr.literal;
     case ExprKind::kBinary:
       return EvalBinary(expr, row);
-    case ExprKind::kUnary: {
-      Value v = EvalExpr(*expr.children[0], row);
-      switch (expr.unary_op) {
-        case UnaryOp::kNot:
-          if (v.is_null()) return Value::Null(TypeId::kBool);
-          return Value::Bool(!v.bool_value());
-        case UnaryOp::kNeg:
-          if (v.is_null()) return v;
-          if (v.type() == TypeId::kDouble) {
-            return Value::Double(-v.double_value());
-          }
-          return Value::Int64(-v.int64_value());
-        case UnaryOp::kIsNull:
-          return Value::Bool(v.is_null());
-        case UnaryOp::kIsNotNull:
-          return Value::Bool(!v.is_null());
-      }
-      return Value::Null(TypeId::kBool);
-    }
+    case ExprKind::kUnary:
+      return EvalUnaryValue(expr.unary_op, EvalExpr(*expr.children[0], row));
     case ExprKind::kBetween: {
       Value v = EvalExpr(*expr.children[0], row);
       Value lo = EvalExpr(*expr.children[1], row);

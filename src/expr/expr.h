@@ -123,6 +123,16 @@ Value EvalExpr(const Expr& expr, const Row& row);
 /// \brief True iff the predicate evaluates to (non-NULL) TRUE on the row.
 bool EvalPredicate(const Expr& expr, const Row& row);
 
+/// \brief Applies a non-AND/OR binary operator to two already-evaluated
+/// operands. This is the single value-level kernel behind both the scalar
+/// evaluator and the vectorized fallback path (vector_eval.cc), so the two
+/// agree bit for bit by construction.
+Value EvalBinaryValues(BinaryOp op, const Value& l, const Value& r);
+
+/// \brief Applies a unary operator to an already-evaluated operand (same
+/// sharing contract as EvalBinaryValues).
+Value EvalUnaryValue(UnaryOp op, const Value& v);
+
 /// \brief Collects all column indices referenced by a bound tree.
 void CollectColumnIndices(const Expr& expr, std::vector<int>* out);
 

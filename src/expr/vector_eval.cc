@@ -1,0 +1,518 @@
+#include "src/expr/vector_eval.h"
+
+#include <cstddef>
+
+namespace xdb {
+
+namespace {
+
+/// \brief A batch of evaluated lanes, one per entry of the driving selection
+/// vector.
+///
+/// Numeric lanes live unboxed in payload arrays (`i64` for the int64-payload
+/// type class bool/int64/date, `f64` for double) with a side NULL mask;
+/// everything else (strings, mixed-type columns, fallback results) is boxed
+/// as full Values. `type` is the lane type of non-NULL lanes and `null_type`
+/// the type tag a NULL lane materializes with — kept separately because the
+/// scalar evaluator types NULLs by operator, not by operand (arithmetic
+/// yields Null(kDouble) even over int64 inputs), and bit-identity includes
+/// the NULL's type tag.
+struct Vec {
+  enum class Repr : uint8_t { kI64, kF64, kBoxed };
+
+  Repr repr = Repr::kBoxed;
+  TypeId type = TypeId::kInt64;
+  TypeId null_type = TypeId::kInt64;
+  std::vector<uint8_t> nulls;  // 1 = NULL; sized to lanes for kI64/kF64
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<Value> boxed;
+
+  size_t lanes() const {
+    return repr == Repr::kBoxed ? boxed.size() : nulls.size();
+  }
+  bool IsNullLane(size_t i) const {
+    return repr == Repr::kBoxed ? boxed[i].is_null() : nulls[i] != 0;
+  }
+};
+
+/// Materializes lane `i` as a Value, bit-identical to what the scalar
+/// evaluator would have produced for that subtree on that row.
+Value LaneValue(const Vec& v, size_t i) {
+  if (v.repr == Vec::Repr::kBoxed) return v.boxed[i];
+  if (v.nulls[i]) return Value::Null(v.null_type);
+  if (v.repr == Vec::Repr::kF64) return Value::Double(v.f64[i]);
+  switch (v.type) {
+    case TypeId::kBool: return Value::Bool(v.i64[i] != 0);
+    case TypeId::kDate: return Value::Date(v.i64[i]);
+    default: return Value::Int64(v.i64[i]);
+  }
+}
+
+/// Three-valued truth of a lane, matching `!v.is_null() && v.bool_value()`
+/// plus the NULL case. Note Value::bool_value() reads the int64 payload, so a
+/// double lane is never TRUE — the f64 repr mirrors that quirk exactly.
+enum class Truth : uint8_t { kFalse, kTrue, kNull };
+
+Truth LaneTruth(const Vec& v, size_t i) {
+  if (v.IsNullLane(i)) return Truth::kNull;
+  switch (v.repr) {
+    case Vec::Repr::kI64: return v.i64[i] != 0 ? Truth::kTrue : Truth::kFalse;
+    case Vec::Repr::kF64: return Truth::kFalse;
+    case Vec::Repr::kBoxed:
+      return v.boxed[i].bool_value() ? Truth::kTrue : Truth::kFalse;
+  }
+  return Truth::kFalse;
+}
+
+bool IsI64Class(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt64 || t == TypeId::kDate;
+}
+
+Vec EvalVec(const Expr& expr, const std::vector<Row>& rows,
+            const SelVector& sel);
+
+/// Whole-subtree fallback: scalar-evaluates the node per selected row. Any
+/// shape without a typed kernel lands here, which makes batch coverage total.
+Vec EvalVecScalarFallback(const Expr& expr, const std::vector<Row>& rows,
+                          const SelVector& sel) {
+  Vec out;
+  out.repr = Vec::Repr::kBoxed;
+  out.boxed.reserve(sel.size());
+  for (uint32_t r : sel) out.boxed.push_back(EvalExpr(expr, rows[r]));
+  return out;
+}
+
+Vec GatherColumn(const Expr& expr, const std::vector<Row>& rows,
+                 const SelVector& sel) {
+  const size_t col = static_cast<size_t>(expr.column_index);
+  const TypeId t = expr.column_type;
+  Vec out;
+  out.type = t;
+  out.null_type = t;
+  const size_t n = sel.size();
+  if (IsI64Class(t) || t == TypeId::kDouble) {
+    out.repr = IsI64Class(t) ? Vec::Repr::kI64 : Vec::Repr::kF64;
+    out.nulls.resize(n);
+    auto& payload_i = out.i64;
+    auto& payload_f = out.f64;
+    if (out.repr == Vec::Repr::kI64) payload_i.resize(n);
+    else payload_f.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = rows[sel[i]][col];
+      if (v.type() != t) {
+        // A lane deviating from the declared column type (possible through
+        // expression-valued views) voids the typed layout; re-gather boxed.
+        out = Vec();
+        out.repr = Vec::Repr::kBoxed;
+        out.boxed.reserve(n);
+        for (uint32_t r : sel) out.boxed.push_back(rows[r][col]);
+        return out;
+      }
+      out.nulls[i] = v.is_null() ? 1 : 0;
+      if (out.repr == Vec::Repr::kI64) payload_i[i] = v.int64_value();
+      else payload_f[i] = v.double_value();
+    }
+    return out;
+  }
+  out.repr = Vec::Repr::kBoxed;
+  out.boxed.reserve(n);
+  for (uint32_t r : sel) out.boxed.push_back(rows[r][col]);
+  return out;
+}
+
+Vec SplatLiteral(const Value& lit, size_t n) {
+  Vec out;
+  if (!lit.is_null() && IsI64Class(lit.type())) {
+    out.repr = Vec::Repr::kI64;
+    out.type = out.null_type = lit.type();
+    out.nulls.assign(n, 0);
+    out.i64.assign(n, lit.int64_value());
+    return out;
+  }
+  if (!lit.is_null() && lit.type() == TypeId::kDouble) {
+    out.repr = Vec::Repr::kF64;
+    out.type = out.null_type = TypeId::kDouble;
+    out.nulls.assign(n, 0);
+    out.f64.assign(n, lit.double_value());
+    return out;
+  }
+  out.repr = Vec::Repr::kBoxed;
+  out.boxed.assign(n, lit);
+  return out;
+}
+
+bool IsTypedNumeric(const Vec& v) {
+  return v.repr == Vec::Repr::kI64 || v.repr == Vec::Repr::kF64;
+}
+
+double LaneAsDouble(const Vec& v, size_t i) {
+  return v.repr == Vec::Repr::kF64 ? v.f64[i]
+                                   : static_cast<double>(v.i64[i]);
+}
+
+/// Arithmetic over two evaluated operand vectors. Typed loops mirror
+/// EvalBinaryValues' int/double promotion exactly; shapes the loops don't
+/// cover (dates, strings, boxed lanes) combine per lane through
+/// EvalBinaryValues itself.
+Vec EvalArithVec(BinaryOp op, const Vec& l, const Vec& r) {
+  const size_t n = l.lanes();
+  Vec out;
+  out.null_type = TypeId::kDouble;  // arithmetic NULLs are typed double
+  // Integer loop: both int64-class, no date (date +/- has its own result
+  // type), and not division (always double).
+  if (l.repr == Vec::Repr::kI64 && r.repr == Vec::Repr::kI64 &&
+      l.type != TypeId::kDate && r.type != TypeId::kDate &&
+      op != BinaryOp::kDiv) {
+    out.repr = Vec::Repr::kI64;
+    out.type = TypeId::kInt64;
+    out.nulls.resize(n);
+    out.i64.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (l.nulls[i] | r.nulls[i]) {
+        out.nulls[i] = 1;
+        out.i64[i] = 0;
+        continue;
+      }
+      const int64_t a = l.i64[i], b = r.i64[i];
+      out.i64[i] = op == BinaryOp::kAdd   ? a + b
+                   : op == BinaryOp::kSub ? a - b
+                                          : a * b;
+    }
+    return out;
+  }
+  // Double loop: either side double (dates allowed on the int side — scalar
+  // widens them with AsDouble), or any op over two doubles, or division.
+  if (IsTypedNumeric(l) && IsTypedNumeric(r) &&
+      (l.repr == Vec::Repr::kF64 || r.repr == Vec::Repr::kF64 ||
+       op == BinaryOp::kDiv)) {
+    // kDiv over two int64-class lanes also lands here (scalar: div is always
+    // double); date lanes widen via AsDouble the same way scalar does.
+    out.repr = Vec::Repr::kF64;
+    out.type = TypeId::kDouble;
+    out.nulls.resize(n);
+    out.f64.resize(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (l.nulls[i] | r.nulls[i]) {
+        out.nulls[i] = 1;
+        continue;
+      }
+      const double a = LaneAsDouble(l, i), b = LaneAsDouble(r, i);
+      switch (op) {
+        case BinaryOp::kAdd: out.f64[i] = a + b; break;
+        case BinaryOp::kSub: out.f64[i] = a - b; break;
+        case BinaryOp::kMul: out.f64[i] = a * b; break;
+        default:
+          if (b == 0.0) out.nulls[i] = 1;
+          else out.f64[i] = a / b;
+          break;
+      }
+    }
+    return out;
+  }
+  out.repr = Vec::Repr::kBoxed;
+  out.boxed.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.boxed.push_back(EvalBinaryValues(op, LaneValue(l, i), LaneValue(r, i)));
+  }
+  return out;
+}
+
+int CmpResult(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    default: return c >= 0;  // kGe
+  }
+}
+
+/// Comparison over two evaluated operand vectors. Value::Compare for two
+/// non-double numerics is a raw int64 compare; when either side is double it
+/// widens with AsDouble — both decisions are lane-uniform for typed vectors,
+/// so the loop body is branch-free on type.
+Vec EvalCompareVec(BinaryOp op, const Vec& l, const Vec& r) {
+  const size_t n = l.lanes();
+  Vec out;
+  out.repr = Vec::Repr::kI64;
+  out.type = TypeId::kBool;
+  out.null_type = TypeId::kBool;
+  out.nulls.resize(n);
+  out.i64.resize(n, 0);
+  if (l.repr == Vec::Repr::kI64 && r.repr == Vec::Repr::kI64) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.nulls[i] | r.nulls[i]) {
+        out.nulls[i] = 1;
+        continue;
+      }
+      const int64_t a = l.i64[i], b = r.i64[i];
+      out.i64[i] = CmpResult(op, a < b ? -1 : (a == b ? 0 : 1));
+    }
+    return out;
+  }
+  if (IsTypedNumeric(l) && IsTypedNumeric(r)) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.nulls[i] | r.nulls[i]) {
+        out.nulls[i] = 1;
+        continue;
+      }
+      const double a = LaneAsDouble(l, i), b = LaneAsDouble(r, i);
+      out.i64[i] = CmpResult(op, a < b ? -1 : (a == b ? 0 : 1));
+    }
+    return out;
+  }
+  // Boxed/mixed lanes: NULL-check + Value::Compare per lane, exactly the
+  // scalar default branch, on the already-evaluated operands.
+  for (size_t i = 0; i < n; ++i) {
+    const Value lv = LaneValue(l, i), rv = LaneValue(r, i);
+    if (lv.is_null() || rv.is_null()) {
+      out.nulls[i] = 1;
+      continue;
+    }
+    out.i64[i] = CmpResult(op, lv.Compare(rv));
+  }
+  return out;
+}
+
+/// AND/OR with short-circuit by selection intersection: the right child is
+/// evaluated only on lanes the left child did not already decide (non-null
+/// FALSE decides AND; non-null TRUE decides OR), then scattered back.
+/// Lane-wise combination follows the scalar three-valued truth table.
+Vec EvalAndOrVec(const Expr& expr, const std::vector<Row>& rows,
+                 const SelVector& sel) {
+  const bool is_and = expr.binary_op == BinaryOp::kAnd;
+  const size_t n = sel.size();
+  Vec left = EvalVec(*expr.children[0], rows, sel);
+
+  SelVector sub_sel;
+  std::vector<uint32_t> sub_pos;
+  sub_sel.reserve(n);
+  sub_pos.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Truth t = LaneTruth(left, i);
+    const bool decided = is_and ? t == Truth::kFalse : t == Truth::kTrue;
+    if (!decided) {
+      sub_sel.push_back(sel[i]);
+      sub_pos.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  Vec out;
+  out.repr = Vec::Repr::kI64;
+  out.type = TypeId::kBool;
+  out.null_type = TypeId::kBool;
+  out.nulls.assign(n, 0);
+  // Decided lanes: AND -> FALSE (0), OR -> TRUE (1).
+  out.i64.assign(n, is_and ? 0 : 1);
+
+  if (!sub_sel.empty()) {
+    Vec right = EvalVec(*expr.children[1], rows, sub_sel);
+    for (size_t s = 0; s < sub_sel.size(); ++s) {
+      const size_t i = sub_pos[s];
+      const Truth lt = LaneTruth(left, i);
+      const Truth rt = LaneTruth(right, s);
+      Truth res;
+      if (is_and) {
+        // left is TRUE or NULL here.
+        if (rt == Truth::kFalse) res = Truth::kFalse;
+        else if (lt == Truth::kNull || rt == Truth::kNull) res = Truth::kNull;
+        else res = Truth::kTrue;
+      } else {
+        // left is FALSE or NULL here.
+        if (rt == Truth::kTrue) res = Truth::kTrue;
+        else if (lt == Truth::kNull || rt == Truth::kNull) res = Truth::kNull;
+        else res = Truth::kFalse;
+      }
+      if (res == Truth::kNull) out.nulls[i] = 1, out.i64[i] = 0;
+      else out.i64[i] = res == Truth::kTrue ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+Vec EvalUnaryVec(const Expr& expr, const std::vector<Row>& rows,
+                 const SelVector& sel) {
+  Vec child = EvalVec(*expr.children[0], rows, sel);
+  const size_t n = child.lanes();
+  Vec out;
+  switch (expr.unary_op) {
+    case UnaryOp::kIsNull:
+    case UnaryOp::kIsNotNull: {
+      const bool want_null = expr.unary_op == UnaryOp::kIsNull;
+      out.repr = Vec::Repr::kI64;
+      out.type = out.null_type = TypeId::kBool;
+      out.nulls.assign(n, 0);
+      out.i64.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.i64[i] = child.IsNullLane(i) == want_null ? 1 : 0;
+      }
+      return out;
+    }
+    case UnaryOp::kNot:
+      if (child.repr == Vec::Repr::kI64 && child.type == TypeId::kBool) {
+        out.repr = Vec::Repr::kI64;
+        out.type = out.null_type = TypeId::kBool;
+        out.nulls = child.nulls;
+        out.i64.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          out.i64[i] = child.nulls[i] ? 0 : (child.i64[i] == 0 ? 1 : 0);
+        }
+        return out;
+      }
+      break;
+    case UnaryOp::kNeg:
+      if (child.repr == Vec::Repr::kI64) {
+        out.repr = Vec::Repr::kI64;
+        out.type = TypeId::kInt64;
+        // Scalar kNeg returns a NULL operand unchanged, keeping its type.
+        out.null_type = child.null_type;
+        out.nulls = child.nulls;
+        out.i64.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          out.i64[i] = child.nulls[i] ? 0 : -child.i64[i];
+        }
+        return out;
+      }
+      if (child.repr == Vec::Repr::kF64) {
+        out.repr = Vec::Repr::kF64;
+        out.type = TypeId::kDouble;
+        out.null_type = child.null_type;
+        out.nulls = child.nulls;
+        out.f64.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          out.f64[i] = child.nulls[i] ? 0.0 : -child.f64[i];
+        }
+        return out;
+      }
+      break;
+  }
+  out.repr = Vec::Repr::kBoxed;
+  out.boxed.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.boxed.push_back(EvalUnaryValue(expr.unary_op, LaneValue(child, i)));
+  }
+  return out;
+}
+
+Vec EvalBetweenVec(const Expr& expr, const std::vector<Row>& rows,
+                   const SelVector& sel) {
+  Vec v = EvalVec(*expr.children[0], rows, sel);
+  Vec lo = EvalVec(*expr.children[1], rows, sel);
+  Vec hi = EvalVec(*expr.children[2], rows, sel);
+  const size_t n = v.lanes();
+  Vec out;
+  out.repr = Vec::Repr::kI64;
+  out.type = out.null_type = TypeId::kBool;
+  out.nulls.resize(n);
+  out.i64.resize(n, 0);
+  if (IsTypedNumeric(v) && IsTypedNumeric(lo) && IsTypedNumeric(hi)) {
+    // Each bound pair picks int or double comparison exactly as
+    // Value::Compare would, decided once per vector pair.
+    const bool lo_int =
+        v.repr == Vec::Repr::kI64 && lo.repr == Vec::Repr::kI64;
+    const bool hi_int =
+        v.repr == Vec::Repr::kI64 && hi.repr == Vec::Repr::kI64;
+    for (size_t i = 0; i < n; ++i) {
+      if (v.nulls[i] | lo.nulls[i] | hi.nulls[i]) {
+        out.nulls[i] = 1;
+        continue;
+      }
+      const bool ge_lo = lo_int ? v.i64[i] >= lo.i64[i]
+                                : LaneAsDouble(v, i) >= LaneAsDouble(lo, i);
+      const bool le_hi = hi_int ? v.i64[i] <= hi.i64[i]
+                                : LaneAsDouble(v, i) <= LaneAsDouble(hi, i);
+      out.i64[i] = ge_lo && le_hi ? 1 : 0;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value vv = LaneValue(v, i);
+    const Value lv = LaneValue(lo, i);
+    const Value hv = LaneValue(hi, i);
+    if (vv.is_null() || lv.is_null() || hv.is_null()) {
+      out.nulls[i] = 1;
+      continue;
+    }
+    out.i64[i] = vv.Compare(lv) >= 0 && vv.Compare(hv) <= 0 ? 1 : 0;
+  }
+  return out;
+}
+
+Vec EvalVec(const Expr& expr, const std::vector<Row>& rows,
+            const SelVector& sel) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      return GatherColumn(expr, rows, sel);
+    case ExprKind::kLiteral:
+      return SplatLiteral(expr.literal, sel.size());
+    case ExprKind::kBinary:
+      if (expr.binary_op == BinaryOp::kAnd ||
+          expr.binary_op == BinaryOp::kOr) {
+        return EvalAndOrVec(expr, rows, sel);
+      }
+      {
+        Vec l = EvalVec(*expr.children[0], rows, sel);
+        Vec r = EvalVec(*expr.children[1], rows, sel);
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+            return EvalArithVec(expr.binary_op, l, r);
+          default:
+            return EvalCompareVec(expr.binary_op, l, r);
+        }
+      }
+    case ExprKind::kUnary:
+      return EvalUnaryVec(expr, rows, sel);
+    case ExprKind::kBetween:
+      return EvalBetweenVec(expr, rows, sel);
+    default:
+      // LIKE, IN, CASE, functions, (mis-planned) aggregates.
+      return EvalVecScalarFallback(expr, rows, sel);
+  }
+}
+
+}  // namespace
+
+void SelRange(size_t begin, size_t end, SelVector* sel) {
+  sel->clear();
+  sel->reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
+                   const SelVector& sel, std::vector<Value>* out) {
+  Vec v = EvalVec(expr, rows, sel);
+  out->reserve(out->size() + sel.size());
+  if (v.repr == Vec::Repr::kBoxed) {
+    for (auto& val : v.boxed) out->push_back(std::move(val));
+    return;
+  }
+  for (size_t i = 0; i < v.lanes(); ++i) out->push_back(LaneValue(v, i));
+}
+
+void EvalPredicateBatch(const Expr& expr, const std::vector<Row>& rows,
+                        SelVector* sel) {
+  if (sel->empty()) return;
+  // Conjunction = selection intersection: the left conjunct shrinks the
+  // selection, the right conjunct never sees rejected rows. (NULL and FALSE
+  // both reject, exactly like scalar EvalPredicate on an AND.)
+  if (expr.kind == ExprKind::kBinary && expr.binary_op == BinaryOp::kAnd) {
+    EvalPredicateBatch(*expr.children[0], rows, sel);
+    EvalPredicateBatch(*expr.children[1], rows, sel);
+    return;
+  }
+  Vec v = EvalVec(expr, rows, *sel);
+  size_t kept = 0;
+  for (size_t i = 0; i < sel->size(); ++i) {
+    if (LaneTruth(v, i) == Truth::kTrue) (*sel)[kept++] = (*sel)[i];
+  }
+  sel->resize(kept);
+}
+
+}  // namespace xdb

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/types/table.h"
+
+namespace xdb {
+
+/// \brief Selection vector: ascending row indices into a row span. The batch
+/// evaluator touches only selected rows, so Filter chains (AND conjuncts)
+/// shrink it in place instead of re-testing already-rejected rows.
+using SelVector = std::vector<uint32_t>;
+
+/// Fills `sel` with [begin, end) — the dense selection a morsel starts from.
+void SelRange(size_t begin, size_t end, SelVector* sel);
+
+/// \brief Evaluates a bound, aggregate-free expression over every selected
+/// row, appending one Value per selection lane to `out` (out->size() grows by
+/// sel.size(); lane i corresponds to rows[sel[i]]).
+///
+/// Contract: the appended values are bit-identical to calling
+/// `EvalExpr(expr, rows[sel[i]])` lane by lane — including NULL type tags,
+/// `-0.0` payloads, int-vs-double promotion, date arithmetic, and division by
+/// zero. Hot shapes (int64/double/date column refs and literals, + - * /,
+/// comparisons, AND/OR, NOT/negate/IS NULL, BETWEEN) run typed inner loops
+/// over unboxed payload arrays; everything else falls back to the scalar
+/// evaluator per selected row, so coverage is total.
+void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
+                   const SelVector& sel, std::vector<Value>* out);
+
+/// \brief Filters `sel` down to the rows where the predicate evaluates to
+/// (non-NULL) TRUE, preserving order — identical to keeping the rows where
+/// `EvalPredicate(expr, rows[i])` holds.
+///
+/// Top-level AND short-circuits by selection-vector intersection: the left
+/// conjunct shrinks `sel`, and the right conjunct is only evaluated on the
+/// survivors.
+void EvalPredicateBatch(const Expr& expr, const std::vector<Row>& rows,
+                        SelVector* sel);
+
+}  // namespace xdb

@@ -11,8 +11,11 @@ size_t RowSerializedSize(const Row& row) {
 }
 
 size_t Table::SerializedSize() const {
+  size_t cached = serialized_size_.load(std::memory_order_relaxed);
+  if (cached != kSizeUnknown) return cached;
   size_t n = 0;
   for (const auto& r : rows_) n += RowSerializedSize(r);
+  serialized_size_.store(n, std::memory_order_relaxed);
   return n;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,25 +33,46 @@ class Table {
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
+  std::vector<Row>& mutable_rows() {
+    // Handing out mutable rows voids the size cache; the caller may rewrite
+    // anything.
+    InvalidateSerializedSize();
+    return rows_;
+  }
   const Row& row(size_t i) const { return rows_[i]; }
 
-  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+  void AppendRow(Row row) {
+    rows_.push_back(std::move(row));
+    InvalidateSerializedSize();
+  }
 
   /// Pre-sizes the row vector for `n` total rows (see std::vector::reserve);
   /// output paths that know their cardinality use this to avoid repeated
   /// reallocation while appending.
   void Reserve(size_t n) { rows_.reserve(n); }
 
-  /// Total approximate serialized size of all rows.
+  /// Total approximate serialized size of all rows. Computed on first call
+  /// and cached until the rows change (AppendRow / mutable_rows): this sits
+  /// on the transfer-accounting path of every foreign fetch, which used to
+  /// re-walk every row per call.
   size_t SerializedSize() const;
 
   /// Renders the first `max_rows` rows as an ASCII table (for examples).
   std::string ToDisplayString(size_t max_rows = 20) const;
 
  private:
+  static constexpr size_t kSizeUnknown = std::numeric_limits<size_t>::max();
+
+  void InvalidateSerializedSize() {
+    serialized_size_.store(kSizeUnknown, std::memory_order_relaxed);
+  }
+
   Schema schema_;
   std::vector<Row> rows_;
+  // Atomic so concurrent const readers (tables are shared read-only across
+  // morsel workers) may race to fill the cache without UB; both compute the
+  // same value.
+  mutable std::atomic<size_t> serialized_size_{kSizeUnknown};
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace xdb {
+
+/// \brief Bounded retry with exponential backoff, in *modelled* seconds.
+///
+/// Backoff never sleeps: the waiting time is charged to the query's timing
+/// breakdown (RunTrace::total_backoff_seconds), consistent with the
+/// simulator's "time is modelled, not spent" design (src/net/network.h).
+struct RetryPolicy {
+  int max_attempts = 3;                   // total attempts, including first
+  double initial_backoff_seconds = 0.05;  // wait after the first failure
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 5.0;
+
+  /// A policy that never retries (single attempt, no backoff).
+  static RetryPolicy NoRetry() { return RetryPolicy{1, 0.0, 1.0, 0.0}; }
+
+  /// Modelled seconds waited after failed attempt `attempt` (1-based).
+  double BackoffAfter(int attempt) const {
+    double b = initial_backoff_seconds;
+    for (int i = 1; i < attempt; ++i) b *= backoff_multiplier;
+    return std::min(b, max_backoff_seconds);
+  }
+};
+
+/// Runs `fn` (a Status-returning callable) up to `policy.max_attempts`
+/// times, backing off between attempts that fail with a retryable status
+/// (Status::IsRetryable). Non-retryable failures abort immediately. Reports
+/// the attempt count and the total modelled backoff through the out
+/// parameters and returns the final status.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, Fn&& fn, int* attempts,
+                        double* backoff_seconds) {
+  const int budget = std::max(1, policy.max_attempts);
+  double waited = 0;
+  Status st;
+  int attempt = 1;
+  for (;; ++attempt) {
+    st = fn();
+    if (st.ok() || !st.IsRetryable() || attempt >= budget) break;
+    waited += policy.BackoffAfter(attempt);
+  }
+  if (attempts != nullptr) *attempts = attempt;
+  if (backoff_seconds != nullptr) *backoff_seconds = waited;
+  return st;
+}
+
+}  // namespace xdb

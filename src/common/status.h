@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kNetworkError,
   kNotImplemented,
   kInternal,
+  kUnavailable,  // node/engine temporarily down or refusing the operation
+  kTimeout,      // operation gave up mid-flight (e.g. link drop)
 };
 
 /// \brief Returns a stable, human-readable name for a status code.
@@ -60,6 +62,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -76,6 +84,16 @@ class Status {
   }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+
+  /// \brief True for transient failure classes (unavailable engine, dropped
+  /// link) that a caller may reasonably retry with backoff. Static errors
+  /// (parse/bind/catalog/...) are never retryable.
+  bool IsRetryable() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kTimeout;
   }
 
   /// \brief Renders "OK" or "<Code>: <message>".

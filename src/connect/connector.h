@@ -74,11 +74,13 @@ class DbmsConnector {
 
   Status Deploy(const std::string& ddl) {
     RoundTrip();
+    XDB_RETURN_NOT_OK(fed_->InjectFault(server_->name(), FaultOp::kDdl));
     return server_->ExecuteDdl(ddl);
   }
 
   Result<TablePtr> RunQuery(const std::string& sql) {
     RoundTrip();
+    XDB_RETURN_NOT_OK(fed_->InjectFault(server_->name(), FaultOp::kQuery));
     return server_->ExecuteQuery(sql);
   }
 

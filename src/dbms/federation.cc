@@ -85,6 +85,46 @@ void Federation::PopFetch(int id, double rows, double bytes,
   run_.per_server[rec.src].Add(frame.trace);
 }
 
+Status Federation::InjectFault(const std::string& server, FaultOp op,
+                               const std::string& peer) {
+  if (injector_ == nullptr) return Status::OK();
+  Status st = injector_->OnOperation(server, op, peer);
+  double delay = injector_->TakeInjectedDelay();
+  if (run_active_ && delay > 0) run_.injected_delay_seconds += delay;
+  return st;
+}
+
+void Federation::RecordRetry(RetryEvent event) {
+  if (!run_active_) return;
+  run_.total_backoff_seconds += event.backoff_seconds;
+  if (event.attempts > 1 && event.succeeded) NoteRecovery("retried");
+  run_.retries.push_back(std::move(event));
+}
+
+namespace {
+int RecoveryRank(const std::string& action) {
+  if (action == "retried") return 1;
+  if (action == "rolled-back") return 2;
+  if (action == "replanned") return 3;
+  if (action == "failed") return 4;
+  return 0;  // "none" / unknown
+}
+}  // namespace
+
+void Federation::NoteRecovery(const std::string& action) {
+  if (!run_active_) return;
+  if (RecoveryRank(action) > RecoveryRank(run_.recovery_action)) {
+    run_.recovery_action = action;
+  }
+}
+
+void Federation::MarkTransferFailed(int id) {
+  if (!run_active_ || id < 0) return;
+  size_t idx = static_cast<size_t>(id);
+  if (idx >= run_.transfers.size() || run_.transfers[idx].id != id) return;
+  run_.transfers[idx].failed = true;
+}
+
 void Federation::RecordControlMessage(const std::string& a,
                                       const std::string& b, double bytes) {
   network_.RecordTransfer(a, b, bytes, 1);

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/dbms/engine_profile.h"
 #include "src/dbms/run_trace.h"
 #include "src/net/network.h"
+#include "src/testing/fault_injector.h"
 
 namespace xdb {
 
@@ -40,7 +42,42 @@ class Federation {
 
   Network& network() { return network_; }
   const Network& network() const { return network_; }
-  void SetNetwork(Network net) { network_ = std::move(net); }
+  void SetNetwork(Network net) {
+    network_ = std::move(net);
+    network_.set_fault_injector(injector_);
+  }
+
+  // --- fault injection & retry (no-ops unless an injector is attached) ---
+
+  /// Attaches a fault injector (nullptr detaches). The injector is also
+  /// handed to the network for slow-link degradation. The caller keeps
+  /// ownership and must outlive the federation's use.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_ = injector;
+    network_.set_fault_injector(injector);
+  }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Consults the injector for an operation on `server` (peer = other link
+  /// endpoint for fetches/transfers). OK when no injector is attached.
+  /// Modelled delay charged by fired faults lands on the active run.
+  Status InjectFault(const std::string& server, FaultOp op,
+                     const std::string& peer = std::string());
+
+  /// Federation-wide retry policy used by the delegation engine's DDL path
+  /// and the servers' foreign-fetch path.
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Appends a retry event to the active run (dropped when none).
+  void RecordRetry(RetryEvent event);
+
+  /// Raises the active run's recovery action if `action` outranks it
+  /// ("none" < "retried" < "rolled-back" < "replanned" < "failed").
+  void NoteRecovery(const std::string& action);
+
+  /// Marks a closed transfer record as failed (link dropped mid-transfer).
+  void MarkTransferFailed(int id);
 
   // --- run recording ---
 
@@ -80,6 +117,8 @@ class Federation {
 
   std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
   Network network_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
 
   bool run_active_ = false;
   RunTrace run_;

@@ -24,19 +24,47 @@ struct TransferRecord {
   double bytes = 0;       // serialized payload bytes (before wire inflation)
   uint64_t messages = 1;  // batches on the wire
   bool materialized = false;  // consumer wrote it to a local table (CTAS)
+  bool failed = false;        // link dropped mid-transfer; bytes were wasted
 
   /// Compute performed by the producer to serve this fetch (excluding
   /// compute already attributed to nested fetches).
   ComputeTrace producer_compute;
 };
 
+/// \brief One retried operation (DDL deployment or inter-DBMS fetch):
+/// how many attempts it took, how long the modelled backoff waited, and
+/// whether it eventually succeeded. Only operations that actually retried
+/// or failed are recorded — a clean run has an empty retry log.
+struct RetryEvent {
+  std::string server;  // DBMS the operation targeted
+  std::string op;      // "ddl" | "fetch"
+  int attempts = 1;
+  double backoff_seconds = 0;  // modelled wait across all retries
+  bool succeeded = true;
+  std::string error;  // final error message when !succeeded
+};
+
 /// \brief Everything observed while executing one top-level query across
-/// the federation: the root's compute plus the tree of transfers.
+/// the federation: the root's compute plus the tree of transfers, and —
+/// when faults struck — the recovery trail (retries, rollbacks, replans).
 struct RunTrace {
   ComputeTrace root_compute;       // compute on the root (client-facing) DBMS
   std::string root_server;
   std::vector<TransferRecord> transfers;
   std::map<std::string, ComputeTrace> per_server;  // totals, for inspection
+
+  // --- recovery trail (all zero/empty on a fault-free run) ---
+  std::vector<RetryEvent> retries;
+  double total_backoff_seconds = 0;   // modelled retry backoff
+  double injected_delay_seconds = 0;  // modelled delay charged by faults
+  double wasted_attempt_seconds = 0;  // modelled time of failed replanned
+                                      // deploy/execution rounds
+  int replan_rounds = 0;              // failover re-annotation rounds taken
+  std::vector<std::string> excluded_servers;  // placements excluded by
+                                              // failover
+  /// Most significant recovery action taken:
+  /// "none" < "retried" < "rolled-back" < "replanned" < "failed".
+  std::string recovery_action = "none";
 
   double TotalTransferredBytes() const {
     double b = 0;

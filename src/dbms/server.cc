@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/retry.h"
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/sql/parser.h"
@@ -11,6 +12,11 @@ namespace xdb {
 namespace {
 // Rows per wire batch (FDW cursor fetch size at the scale we model).
 constexpr double kRowsPerMessage = 10000.0;
+
+// When an injected link drop aborts a transfer, this fraction of the
+// payload is modelled as already on the wire (wasted bytes that still
+// count toward transfer accounting and modelled time).
+constexpr double kLinkDropFraction = 0.5;
 
 uint64_t MessagesFor(double rows) {
   return static_cast<uint64_t>(std::ceil(rows / kRowsPerMessage)) + 1;
@@ -101,23 +107,62 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
     return Status::NetworkError("no connectivity between " +
                                 server_->name_ + " and " + server);
   }
-  // Request message (the `SELECT * FROM relation` text).
-  fed->network().RecordTransfer(server_->name_, server, 128.0, 1);
-  int id = fed->PushFetch(server, server_->name_, relation);
-  Result<TablePtr> result = remote->ServeRemote(relation);
-  if (!result.ok()) {
-    fed->PopFetch(id, 0, 0, 0, false);
-    return result.status().WithContext("foreign fetch of " + server + "." +
-                                       relation + " by " + server_->name_);
+
+  // One fetch attempt end to end: fault gate, request message, remote
+  // evaluation, wire transfer (which an injected link drop can abort
+  // mid-flight, wasting the bytes already sent).
+  TablePtr table;
+  auto attempt_fetch = [&]() -> Status {
+    XDB_RETURN_NOT_OK(
+        fed->InjectFault(server, FaultOp::kFetch, server_->name_));
+    // Request message (the `SELECT * FROM relation` text).
+    fed->network().RecordTransfer(server_->name_, server, 128.0, 1);
+    int id = fed->PushFetch(server, server_->name_, relation);
+    Result<TablePtr> result = remote->ServeRemote(relation);
+    if (!result.ok()) {
+      fed->PopFetch(id, 0, 0, 0, false);
+      return result.status();
+    }
+    TablePtr t = std::move(result).value();
+    double inflation = std::max(server_->profile_.wire_inflation,
+                                remote->profile().wire_inflation);
+    double bytes = static_cast<double>(t->SerializedSize()) * inflation;
+    double rows = static_cast<double>(t->num_rows());
+    uint64_t messages = MessagesFor(rows);
+    Status drop = fed->InjectFault(server, FaultOp::kTransfer,
+                                   server_->name_);
+    if (!drop.ok()) {
+      // Link dropped mid-transfer: the producer's compute and part of the
+      // payload are wasted but still accounted (they really happened).
+      double wasted = bytes * kLinkDropFraction;
+      uint64_t partial =
+          std::max<uint64_t>(1, static_cast<uint64_t>(
+                                    static_cast<double>(messages) *
+                                    kLinkDropFraction));
+      fed->network().RecordTransfer(server, server_->name_, wasted, partial);
+      fed->PopFetch(id, 0, wasted, partial, false);
+      fed->MarkTransferFailed(id);
+      return drop;
+    }
+    fed->network().RecordTransfer(server, server_->name_, bytes, messages);
+    fed->PopFetch(id, rows, bytes, messages, server_->materializing_);
+    table = std::move(t);
+    return Status::OK();
+  };
+
+  int attempts = 0;
+  double backoff = 0;
+  Status st =
+      RetryWithBackoff(fed->retry_policy(), attempt_fetch, &attempts,
+                       &backoff);
+  if (attempts > 1 || st.IsRetryable()) {
+    fed->RecordRetry({server, "fetch", attempts, backoff, st.ok(),
+                      st.ok() ? std::string() : st.message()});
   }
-  TablePtr table = std::move(result).value();
-  double inflation = std::max(server_->profile_.wire_inflation,
-                              remote->profile().wire_inflation);
-  double bytes = static_cast<double>(table->SerializedSize()) * inflation;
-  double rows = static_cast<double>(table->num_rows());
-  uint64_t messages = MessagesFor(rows);
-  fed->network().RecordTransfer(server, server_->name_, bytes, messages);
-  fed->PopFetch(id, rows, bytes, messages, server_->materializing_);
+  if (!st.ok()) {
+    return st.WithContext("foreign fetch of " + server + "." + relation +
+                          " by " + server_->name_);
+  }
   return table;
 }
 

@@ -169,7 +169,10 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
   XDB_ASSIGN_OR_RETURN(DelegationPlan dplan,
                        FinalizePlan(*plan, query_id, mediator_name_));
 
-  DelegationEngine engine(connector_ptrs_);
+  // Mediator baselines get the same retry/rollback machinery (so injected
+  // faults degrade them comparably) but no failover replanning — their
+  // placement policy is fixed by design.
+  DelegationEngine engine(connector_ptrs_, fed_);
   fed_->BeginRun(dplan.tasks.back().server);
   Result<XdbQuery> query = engine.Deploy(&dplan);
   if (!query.ok()) {
@@ -196,7 +199,9 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
   report.exec_timing.transfer_share =
       report.exec_timing.total - report.exec_timing.compute_only;
   report.phases.exec = report.exec_timing.total +
-                       0.02 * static_cast<double>(report.ddl_statements);
+                       0.02 * static_cast<double>(report.ddl_statements) +
+                       report.trace.total_backoff_seconds +
+                       report.trace.injected_delay_seconds;
 
   report.result = std::move(result).value();
   report.plan = std::move(dplan);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/testing/fault_injector.h"
+
 namespace xdb {
 
 namespace {
@@ -23,10 +25,20 @@ void Network::SetLink(const std::string& a, const std::string& b,
   links_[Key(a, b)] = props;
 }
 
+bool Network::CheckNodeKnown(const std::string& name) const {
+  if (HasNode(name)) return true;
+  unknown_nodes_.insert(name);
+  return false;
+}
+
 LinkProps Network::GetLink(const std::string& a,
                            const std::string& b) const {
+  CheckNodeKnown(a);
+  CheckNodeKnown(b);
   auto it = links_.find(Key(a, b));
-  return it != links_.end() ? it->second : default_link_;
+  LinkProps props = it != links_.end() ? it->second : default_link_;
+  if (injector_ != nullptr) injector_->DegradeLink(a, b, &props);
+  return props;
 }
 
 void Network::BlockLink(const std::string& a, const std::string& b) {
@@ -44,6 +56,8 @@ bool Network::IsReachable(const std::string& a, const std::string& b) const {
 
 void Network::RecordTransfer(const std::string& src, const std::string& dst,
                              double bytes, uint64_t messages) {
+  bool src_ok = CheckNodeKnown(src);
+  if (!CheckNodeKnown(dst) || !src_ok) return;
   LinkStats& s = stats_[{src, dst}];
   s.bytes += bytes;
   s.messages += messages;

@@ -8,6 +8,8 @@
 
 namespace xdb {
 
+class FaultInjector;
+
 /// \brief Physical properties of a (bidirectional) link.
 struct LinkProps {
   double bandwidth = 125e6;  // bytes/second (default: 1 Gbit)
@@ -40,6 +42,11 @@ class Network {
   /// Sets (symmetric) properties for a specific pair.
   void SetLink(const std::string& a, const std::string& b, LinkProps props);
 
+  /// Effective properties of the pair's link: the configured (or default)
+  /// props, degraded by any matching slow-link fault when an injector is
+  /// attached. Both endpoints must be registered — an unknown name is
+  /// recorded as a violation (see unknown_nodes()) so topology typos can't
+  /// silently run on default link props and skew transfer accounting.
   LinkProps GetLink(const std::string& a, const std::string& b) const;
 
   /// Marks a pair as unreachable (no direct connectivity — e.g. firewalled
@@ -52,9 +59,26 @@ class Network {
   /// True unless the pair was blocked. Same-node is always reachable.
   bool IsReachable(const std::string& a, const std::string& b) const;
 
-  /// Records a directed transfer.
+  /// Records a directed transfer. Transfers naming an unregistered node
+  /// are rejected (recorded as violations, not counted) so typos cannot
+  /// skew Figure-14-style byte accounting.
   void RecordTransfer(const std::string& src, const std::string& dst,
                       double bytes, uint64_t messages = 1);
+
+  /// Node names seen by GetLink/RecordTransfer that were never registered
+  /// with AddNode. Empty in a correctly wired federation; tests assert on
+  /// it to catch topology typos.
+  const std::set<std::string>& unknown_nodes() const {
+    return unknown_nodes_;
+  }
+  void ClearUnknownNodes() { unknown_nodes_.clear(); }
+
+  /// Attaches a fault injector whose slow-link specs degrade GetLink
+  /// results (nullptr detaches; the default). Degradation feeds both the
+  /// annotator's move-cost estimates and the timing model.
+  void set_fault_injector(const FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Traffic counters per directed pair.
   const std::map<std::pair<std::string, std::string>, LinkStats>& stats()
@@ -90,8 +114,13 @@ class Network {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  /// Records (and returns false for) an unregistered node name.
+  bool CheckNodeKnown(const std::string& name) const;
+
   std::vector<std::string> nodes_;
   LinkProps default_link_;
+  const FaultInjector* injector_ = nullptr;
+  mutable std::set<std::string> unknown_nodes_;
   std::map<std::pair<std::string, std::string>, LinkProps> links_;
   std::set<std::pair<std::string, std::string>> blocked_;
   std::map<std::pair<std::string, std::string>, LinkStats> stats_;

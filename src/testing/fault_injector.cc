@@ -1,0 +1,164 @@
+#include "src/testing/fault_injector.h"
+
+namespace xdb {
+
+namespace {
+
+/// Unordered-pair match for link faults: (spec.server, spec.peer) against
+/// (server, peer), empty spec fields matching anything.
+bool LinkMatches(const FaultSpec& spec, const std::string& a,
+                 const std::string& b) {
+  auto one_way = [](const std::string& sa, const std::string& sb,
+                    const std::string& x, const std::string& y) {
+    return (sa.empty() || sa == x) && (sb.empty() || sb == y);
+  };
+  return one_way(spec.server, spec.peer, a, b) ||
+         one_way(spec.server, spec.peer, b, a);
+}
+
+}  // namespace
+
+const char* FaultOpToString(FaultOp op) {
+  switch (op) {
+    case FaultOp::kDdl:
+      return "ddl";
+    case FaultOp::kQuery:
+      return "query";
+    case FaultOp::kFetch:
+      return "fetch";
+    case FaultOp::kTransfer:
+      return "transfer";
+  }
+  return "unknown";
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeDown:
+      return "node-down";
+    case FaultKind::kTransientError:
+      return "transient-error";
+    case FaultKind::kLinkDrop:
+      return "link-drop";
+    case FaultKind::kSlowLink:
+      return "slow-link";
+  }
+  return "unknown";
+}
+
+int FaultInjector::AddFault(FaultSpec spec) {
+  int id = next_id_++;
+  faults_[id] = ActiveFault{std::move(spec), 0};
+  return id;
+}
+
+void FaultInjector::RemoveFault(int id) { faults_.erase(id); }
+
+void FaultInjector::Clear() {
+  faults_.clear();
+  down_nodes_.clear();
+}
+
+void FaultInjector::MarkNodeDown(const std::string& server) {
+  down_nodes_.insert(server);
+}
+
+void FaultInjector::MarkNodeUp(const std::string& server) {
+  down_nodes_.erase(server);
+}
+
+bool FaultInjector::IsNodeDown(const std::string& server) const {
+  return down_nodes_.count(server) > 0;
+}
+
+double FaultInjector::NextUniform() {
+  // SplitMix64 (public domain, Vigna): one 64-bit state, full period.
+  prng_state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = prng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+bool FaultInjector::Fires(ActiveFault* fault) {
+  const FaultSpec& spec = fault->spec;
+  int count = ++fault->match_count;
+  if (count < spec.first_attempt || count > spec.last_attempt) return false;
+  if (spec.every_nth > 0 && count % spec.every_nth != 0) return false;
+  if (spec.probability < 1.0 && NextUniform() >= spec.probability) {
+    return false;
+  }
+  return true;
+}
+
+Status FaultInjector::OnOperation(const std::string& server, FaultOp op,
+                                  const std::string& peer) {
+  if (down_nodes_.count(server) > 0) {
+    last_fault_ = FaultEvent{-1, server, peer, op, FaultKind::kNodeDown};
+    ++faults_fired_;
+    return Status::Unavailable("DBMS '" + server + "' is down");
+  }
+  for (auto& [id, fault] : faults_) {
+    const FaultSpec& spec = fault.spec;
+    switch (spec.kind) {
+      case FaultKind::kSlowLink:
+        continue;  // degradation only; never an error
+      case FaultKind::kNodeDown:
+        // Matches every operation on the server.
+        if (!spec.server.empty() && spec.server != server) continue;
+        break;
+      case FaultKind::kTransientError:
+        if (spec.op != op) continue;
+        if (!spec.server.empty() && spec.server != server) continue;
+        break;
+      case FaultKind::kLinkDrop:
+        // Only meaningful on the data paths between two endpoints.
+        if (op != FaultOp::kFetch && op != FaultOp::kTransfer) continue;
+        if (spec.op != op) continue;
+        if (peer.empty() || !LinkMatches(spec, server, peer)) continue;
+        break;
+    }
+    if (!Fires(&fault)) continue;
+
+    last_fault_ = FaultEvent{id, server, peer, op, spec.kind};
+    ++faults_fired_;
+    pending_delay_seconds_ += spec.delay_seconds;
+    total_delay_seconds_ += spec.delay_seconds;
+    switch (spec.kind) {
+      case FaultKind::kNodeDown:
+        return Status::Unavailable("DBMS '" + server + "' is down");
+      case FaultKind::kTransientError:
+        return Status::Unavailable(
+            "injected transient fault on '" + server + "' during " +
+            FaultOpToString(op));
+      case FaultKind::kLinkDrop:
+        return Status::Timeout("link " + server + "<->" + peer +
+                               " dropped during " + FaultOpToString(op));
+      case FaultKind::kSlowLink:
+        break;  // unreachable
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::DegradeLink(const std::string& a, const std::string& b,
+                                LinkProps* props) const {
+  for (const auto& [id, fault] : faults_) {
+    const FaultSpec& spec = fault.spec;
+    if (spec.kind != FaultKind::kSlowLink || spec.slow_factor <= 1.0) {
+      continue;
+    }
+    if (!LinkMatches(spec, a, b)) continue;
+    props->bandwidth /= spec.slow_factor;
+    props->latency *= spec.slow_factor;
+  }
+}
+
+double FaultInjector::TakeInjectedDelay() {
+  double d = pending_delay_seconds_;
+  pending_delay_seconds_ = 0;
+  return d;
+}
+
+}  // namespace xdb

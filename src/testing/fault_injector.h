@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/network.h"
+
+namespace xdb {
+
+/// \brief Operation classes the injector can intercept. These are the
+/// interaction points the paper's architecture exposes: DDL deployment and
+/// query triggering through a connector, and server-to-server fetches /
+/// data transfers on the simulated network.
+enum class FaultOp { kDdl, kQuery, kFetch, kTransfer };
+
+/// \brief What an injected fault does.
+enum class FaultKind {
+  kNodeDown,        // the server refuses every operation (kUnavailable)
+  kTransientError,  // the matched operation fails (kUnavailable)
+  kLinkDrop,        // a fetch/transfer over the link aborts (kTimeout)
+  kSlowLink,        // no error; link bandwidth/latency degrade by a factor
+};
+
+const char* FaultOpToString(FaultOp op);
+const char* FaultKindToString(FaultKind kind);
+
+/// \brief One programmable fault: *where* it applies (server, or a link
+/// endpoint pair for link kinds; empty strings are wildcards), *what* it
+/// does (kind), and *when* it fires (a deterministic trigger over the
+/// per-spec count of matched calls, optionally gated by a seeded PRNG).
+struct FaultSpec {
+  std::string server;  // target DBMS ("" = any); link kinds: one endpoint
+  std::string peer;    // link kinds: the other endpoint ("" = any)
+  FaultOp op = FaultOp::kDdl;  // ignored by kNodeDown (all ops) & kSlowLink
+  FaultKind kind = FaultKind::kTransientError;
+
+  // Trigger predicate, evaluated against this spec's 1-based count of
+  // matched calls: fires when the count lies in [first_attempt,
+  // last_attempt], AND (when every_nth > 0) is a multiple of every_nth,
+  // AND (when probability < 1) a seeded coin toss succeeds.
+  int first_attempt = 1;
+  int last_attempt = std::numeric_limits<int>::max();
+  int every_nth = 0;
+  double probability = 1.0;
+
+  // Modelled seconds charged to the run when the fault fires (e.g. the
+  // time a client waits before noticing a dead connection).
+  double delay_seconds = 0.0;
+
+  // kSlowLink: bandwidth is divided and latency multiplied by this factor.
+  double slow_factor = 1.0;
+};
+
+/// \brief What fired last — consumed by the failover logic to decide which
+/// node or link to exclude when replanning.
+struct FaultEvent {
+  int fault_id = -1;  // -1 for MarkNodeDown-driven failures
+  std::string server;
+  std::string peer;
+  FaultOp op = FaultOp::kDdl;
+  FaultKind kind = FaultKind::kNodeDown;
+};
+
+/// \brief Deterministic, seeded fault injector for the simulated
+/// federation (wired in through Federation::SetFaultInjector).
+///
+/// Fully reproducible: triggers are counters over matched calls plus a
+/// SplitMix64 stream seeded at construction — no wall clock, no real
+/// sleeps. Injected delays and retry backoff are modelled seconds charged
+/// to the query's timing breakdown. When no injector is attached (the
+/// default), every hook is a null-pointer check: the fault-free path is
+/// bit-identical to a build without the framework.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : prng_state_(seed) {}
+
+  /// Registers a fault; returns an id usable with RemoveFault.
+  int AddFault(FaultSpec spec);
+  void RemoveFault(int id);
+  void Clear();
+
+  /// Convenience: the server refuses everything until MarkNodeUp.
+  void MarkNodeDown(const std::string& server);
+  void MarkNodeUp(const std::string& server);
+  bool IsNodeDown(const std::string& server) const;
+
+  /// Interception hook: returns OK or the injected failure for an
+  /// operation on `server` (for fetches/transfers, `peer` is the other
+  /// link endpoint). Matched-call counters advance deterministically.
+  Status OnOperation(const std::string& server, FaultOp op,
+                     const std::string& peer = std::string());
+
+  /// Applies every matching kSlowLink spec to `props` (bandwidth divided,
+  /// latency multiplied). Pure — consulted by Network::GetLink so the
+  /// degradation feeds both the annotator's move costs and the timing
+  /// model.
+  void DegradeLink(const std::string& a, const std::string& b,
+                   LinkProps* props) const;
+
+  const std::optional<FaultEvent>& last_fault() const { return last_fault_; }
+  int faults_fired() const { return faults_fired_; }
+  double injected_delay_seconds() const { return total_delay_seconds_; }
+
+  /// Drains modelled delay accumulated by fired faults since the last
+  /// call; the federation charges it to the active run.
+  double TakeInjectedDelay();
+
+ private:
+  struct ActiveFault {
+    FaultSpec spec;
+    int match_count = 0;
+  };
+
+  /// SplitMix64 — cheap, seedable, platform-stable.
+  double NextUniform();
+
+  bool Fires(ActiveFault* fault);
+
+  std::map<int, ActiveFault> faults_;
+  std::set<std::string> down_nodes_;
+  int next_id_ = 0;
+  uint64_t prng_state_;
+  std::optional<FaultEvent> last_fault_;
+  int faults_fired_ = 0;
+  double pending_delay_seconds_ = 0;
+  double total_delay_seconds_ = 0;
+};
+
+}  // namespace xdb

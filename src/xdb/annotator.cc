@@ -73,11 +73,20 @@ Status Annotator::AnnotateCrossJoin(PlanNode* node) {
 
   Candidate best;
   best.cost = -1;
+  bool excluded_candidate = false;
 
   for (size_t local = 0; local < 2; ++local) {
     size_t remote = 1 - local;
     const std::string& a = node->children[local]->annotation;
     const std::string& remote_db = node->children[remote]->annotation;
+    // Failover constraint: skip placements on servers observed unavailable
+    // and links observed dead (replanning routes around them).
+    if (constraints_ != nullptr &&
+        (constraints_->Excluded(a) ||
+         constraints_->LinkBlocked(remote_db, a))) {
+      excluded_candidate = true;
+      continue;
+    }
     // Topology constraint: a placement is only a candidate if the remote
     // input can actually reach it (paper Section IV-B: "constraining the
     // possible values of set A depending on the network").
@@ -144,6 +153,17 @@ Status Annotator::AnnotateCrossJoin(PlanNode* node) {
   }
 
   if (best.cost < 0) {
+    if (excluded_candidate) {
+      std::string excluded;
+      for (const auto& s : constraints_->excluded_servers) {
+        excluded += (excluded.empty() ? "" : ", ") + s;
+      }
+      return Status::Unavailable(
+          "no surviving placement for a cross-database join between '" +
+          node->children[0]->annotation + "' and '" +
+          node->children[1]->annotation + "' (unavailable: [" + excluded +
+          "])");
+    }
     return Status::NetworkError(
         "no reachable placement for a cross-database join between '" +
         node->children[0]->annotation + "' and '" +

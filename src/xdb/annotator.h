@@ -1,13 +1,39 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "src/connect/connector.h"
 #include "src/net/network.h"
 #include "src/plan/estimator.h"
 
 namespace xdb {
+
+/// \brief Failover constraints on placement (paper Section IV-B's
+/// reachability constraint, extended to observed faults): servers excluded
+/// from hosting cross-database operators and links observed dead. Filled
+/// by XdbSystem's failover loop as deploy/execution failures implicate
+/// nodes and links; an empty constraint set leaves annotation untouched.
+struct PlacementConstraints {
+  std::set<std::string> excluded_servers;
+  std::set<std::pair<std::string, std::string>> blocked_links;  // normalized
+
+  static std::pair<std::string, std::string> LinkKey(const std::string& a,
+                                                     const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  bool Excluded(const std::string& server) const {
+    return excluded_servers.count(server) > 0;
+  }
+  bool LinkBlocked(const std::string& a, const std::string& b) const {
+    return blocked_links.count(LinkKey(a, b)) > 0;
+  }
+  bool empty() const {
+    return excluded_servers.empty() && blocked_links.empty();
+  }
+};
 
 /// \brief The Plan Annotator (paper Section IV-B-2).
 ///
@@ -32,12 +58,17 @@ enum class MovementPolicy { kCostBased, kAlwaysImplicit, kAlwaysExplicit };
 
 class Annotator {
  public:
+  /// `constraints` (optional, caller-owned) restricts Rule 4's candidate
+  /// placements — used by failover replanning to route around nodes and
+  /// links observed dead.
   Annotator(std::map<std::string, DbmsConnector*> connectors,
             const Network* network,
-            MovementPolicy policy = MovementPolicy::kCostBased)
+            MovementPolicy policy = MovementPolicy::kCostBased,
+            const PlacementConstraints* constraints = nullptr)
       : connectors_(std::move(connectors)),
         network_(network),
-        policy_(policy) {}
+        policy_(policy),
+        constraints_(constraints) {}
 
   /// Annotates `plan` in place. `plan` must be fully bound with Scan leaves
   /// carrying their owning DBMS in `db`.
@@ -60,6 +91,7 @@ class Annotator {
   std::map<std::string, DbmsConnector*> connectors_;
   const Network* network_;
   MovementPolicy policy_;
+  const PlacementConstraints* constraints_ = nullptr;
   Estimator estimator_;
   int consultations_ = 0;
 };

@@ -1,5 +1,8 @@
 #include "src/xdb/delegation_engine.h"
 
+#include <algorithm>
+
+#include "src/common/retry.h"
 #include "src/connect/deparser.h"
 
 namespace xdb {
@@ -30,13 +33,30 @@ void RewirePlaceholders(PlanNode* node, const std::string& producer_view,
 
 }  // namespace
 
+Status DelegationEngine::IssueWithRetry(DbmsConnector* dc,
+                                        const std::string& server,
+                                        const std::string& ddl) {
+  const RetryPolicy policy =
+      fed_ != nullptr ? fed_->retry_policy() : RetryPolicy::NoRetry();
+  int attempts = 0;
+  double backoff = 0;
+  Status st = RetryWithBackoff(
+      policy, [&] { return dc->Deploy(ddl); }, &attempts, &backoff);
+  if (fed_ != nullptr && (attempts > 1 || st.IsRetryable())) {
+    fed_->RecordRetry({server, "ddl", attempts, backoff, st.ok(),
+                       st.ok() ? std::string() : st.message()});
+  }
+  return st;
+}
+
 Status DelegationEngine::Issue(const std::string& server,
                                const std::string& ddl) {
   auto it = connectors_.find(server);
   if (it == connectors_.end()) {
     return Status::CatalogError("no connector for DBMS '" + server + "'");
   }
-  XDB_RETURN_NOT_OK(it->second->Deploy(ddl).WithContext("on " + server));
+  XDB_RETURN_NOT_OK(
+      IssueWithRetry(it->second, server, ddl).WithContext("on " + server));
   ddl_log_.emplace_back(server, ddl);
   ++ddl_count_;
   return Status::OK();
@@ -45,14 +65,34 @@ Status DelegationEngine::Issue(const std::string& server,
 Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
   ddl_log_.clear();
   ddl_count_ = 0;
+  failure_.reset();
   XdbQuery out;
+
+  // Any failure rolls back every relation this Deploy created so far —
+  // the federation never sees a half-deployed cascade.
+  auto fail = [&](Status st, const std::string& server,
+                  const std::string& ddl) -> Status {
+    failure_ = FailureInfo{server, ddl, st};
+    size_t n = created_.size();
+    Status rollback = Cleanup();
+    if (fed_ != nullptr) fed_->NoteRecovery("rolled-back");
+    if (n > 0) {
+      std::string note = "rolled back " + std::to_string(n) + " relation(s)";
+      if (!rollback.ok()) {
+        note += "; rollback incomplete: " + rollback.message();
+      }
+      st = st.WithContext(note);
+    }
+    return st;
+  };
 
   // Tasks are already topologically ordered (producers first).
   for (auto& task : plan->tasks) {
     auto dc_it = connectors_.find(task.server);
     if (dc_it == connectors_.end()) {
-      return Status::CatalogError("no connector for DBMS '" + task.server +
-                                  "'");
+      return fail(
+          Status::CatalogError("no connector for DBMS '" + task.server + "'"),
+          task.server, std::string());
     }
     const Dialect& dialect = dc_it->second->dialect();
 
@@ -60,11 +100,12 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
     // the edge is explicit.
     for (const DelegationEdge* edge : plan->InEdges(task.id)) {
       const DelegationTask* child = plan->FindTask(edge->producer);
-      XDB_RETURN_NOT_OK(Issue(
-          task.server,
-          dialect.CreateForeignTableSql(child->view_name,
-                                        child->column_names, child->server,
-                                        child->view_name)));
+      std::string ft_ddl = dialect.CreateForeignTableSql(
+          child->view_name, child->column_names, child->server,
+          child->view_name);
+      if (Status st = Issue(task.server, ft_ddl); !st.ok()) {
+        return fail(std::move(st), task.server, ft_ddl);
+      }
       created_.emplace_back(task.server, child->view_name, "FOREIGN TABLE");
       std::string input_relation = child->view_name;
       if (edge->movement == Movement::kExplicit) {
@@ -73,8 +114,10 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
         // the consumer. This is why the paper reports delegation+execution
         // as one phase — explicit movements flow at delegation time.
         std::string mat = child->view_name + "_m";
-        XDB_RETURN_NOT_OK(Issue(
-            task.server, dialect.CreateTableAsSql(mat, child->view_name)));
+        std::string ctas = dialect.CreateTableAsSql(mat, child->view_name);
+        if (Status st = Issue(task.server, ctas); !st.ok()) {
+          return fail(std::move(st), task.server, ctas);
+        }
         created_.emplace_back(task.server, mat, "TABLE");
         input_relation = mat;
       }
@@ -84,10 +127,13 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
     }
 
     // Deparse the algebraic instruction and publish it as a view.
-    XDB_ASSIGN_OR_RETURN(DeparsedQuery dq, DeparsePlan(*task.expr, dialect));
-    task.column_names = dq.column_names;
-    XDB_RETURN_NOT_OK(
-        Issue(task.server, dialect.CreateViewSql(task.view_name, dq.sql)));
+    Result<DeparsedQuery> dq = DeparsePlan(*task.expr, dialect);
+    if (!dq.ok()) return fail(dq.status(), task.server, std::string());
+    task.column_names = dq->column_names;
+    std::string view_ddl = dialect.CreateViewSql(task.view_name, dq->sql);
+    if (Status st = Issue(task.server, view_ddl); !st.ok()) {
+      return fail(std::move(st), task.server, view_ddl);
+    }
     created_.emplace_back(task.server, task.view_name, "VIEW");
   }
 
@@ -98,14 +144,30 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
 
 Status DelegationEngine::Cleanup() {
   Status first_error = Status::OK();
+  // Relations that could not be dropped stay in the ledger (in creation
+  // order) so a later Cleanup can finish the job.
+  std::vector<std::tuple<std::string, std::string, std::string>> remaining;
   for (auto it = created_.rbegin(); it != created_.rend(); ++it) {
     const auto& [server, relation, kind] = *it;
     auto dc = connectors_.find(server);
-    if (dc == connectors_.end()) continue;
-    Status st = dc->second->Deploy("DROP " + kind + " IF EXISTS " + relation);
-    if (!st.ok() && first_error.ok()) first_error = st;
+    if (dc == connectors_.end()) {
+      if (first_error.ok()) {
+        first_error = Status::CatalogError(
+            "cleanup skipped " + kind + " '" + relation + "' on '" + server +
+            "': no connector for that DBMS");
+      }
+      remaining.push_back(*it);
+      continue;
+    }
+    Status st = IssueWithRetry(
+        dc->second, server, "DROP " + kind + " IF EXISTS " + relation);
+    if (!st.ok()) {
+      if (first_error.ok()) first_error = st.WithContext("on " + server);
+      remaining.push_back(*it);
+    }
   }
-  created_.clear();
+  std::reverse(remaining.begin(), remaining.end());
+  created_ = std::move(remaining);
   return first_error;
 }
 

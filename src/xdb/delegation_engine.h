@@ -1,7 +1,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/connect/connector.h"
@@ -26,17 +28,44 @@ struct XdbQuery {
 /// the foreign table directly (pipelined); explicit edges materialise the
 /// foreign table into a local table first. All DDL is issued through the
 /// vendor-specific connectors; XDB never touches the data itself.
+///
+/// Deployment is all-or-nothing: a failure mid-cascade automatically drops
+/// every relation already created (reverse order), so a failed query never
+/// leaves transient relations behind. DDL statements that fail with a
+/// retryable status (kUnavailable/kTimeout) are retried under the
+/// federation's RetryPolicy with modelled backoff, recorded in the active
+/// RunTrace.
 class DelegationEngine {
  public:
-  explicit DelegationEngine(std::map<std::string, DbmsConnector*> connectors)
-      : connectors_(std::move(connectors)) {}
+  /// `fed` enables retries (with its RetryPolicy) and recovery recording in
+  /// the active run; nullptr disables both (single-attempt DDL).
+  explicit DelegationEngine(std::map<std::string, DbmsConnector*> connectors,
+                            Federation* fed = nullptr)
+      : connectors_(std::move(connectors)), fed_(fed) {}
+
+  /// What made Deploy give up, for the failover logic upstream.
+  struct FailureInfo {
+    std::string server;
+    std::string ddl;
+    Status status;
+  };
 
   /// Deploys the plan (mutates it: fills tasks' column_names and rewrites
   /// placeholder names to the created relations) and returns the XDB query.
+  /// On failure every already-created relation is rolled back before the
+  /// error returns.
   Result<XdbQuery> Deploy(DelegationPlan* plan);
 
   /// Drops every short-lived relation Deploy created, in reverse order.
+  /// Idempotent: relations that fail to drop (or whose server has no
+  /// connector — reported by name) are retained for a later attempt;
+  /// calling again on an empty ledger is a no-op.
   Status Cleanup();
+
+  /// Relations still awaiting cleanup (non-empty after a failed Cleanup).
+  size_t pending_cleanup() const { return created_.size(); }
+
+  const std::optional<FailureInfo>& last_failure() const { return failure_; }
 
   /// Full DDL log of the last Deploy, for inspection/printing — the
   /// reproduction of the paper's Figure 7.
@@ -48,14 +77,27 @@ class DelegationEngine {
   /// execution-time CTAS prologue).
   int ddl_count() const { return ddl_count_; }
 
+  /// Test hook: the live connector map, for simulating a connector that
+  /// disappears between Deploy and Cleanup.
+  std::map<std::string, DbmsConnector*>& connectors_for_test() {
+    return connectors_;
+  }
+
  private:
   Status Issue(const std::string& server, const std::string& ddl);
 
+  /// One DDL statement through `dc` with the federation's retry policy;
+  /// records a RetryEvent when it retried or failed.
+  Status IssueWithRetry(DbmsConnector* dc, const std::string& server,
+                        const std::string& ddl);
+
   std::map<std::string, DbmsConnector*> connectors_;
+  Federation* fed_ = nullptr;
   std::vector<std::pair<std::string, std::string>> ddl_log_;
   // (server, relation, kind) in creation order; dropped in reverse.
   std::vector<std::tuple<std::string, std::string, std::string>> created_;
   int ddl_count_ = 0;
+  std::optional<FailureInfo> failure_;
 };
 
 }  // namespace xdb

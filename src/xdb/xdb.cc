@@ -1,8 +1,10 @@
 #include "src/xdb/xdb.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/sql/parser.h"
+#include "src/testing/fault_injector.h"
 #include "src/xdb/annotator.h"
 #include "src/xdb/finalizer.h"
 
@@ -96,63 +98,177 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
                        options_.lopt_per_join_cost *
                            static_cast<double>(njoins);
 
-  // --- Plan annotation (consulting) + finalization. ---
-  Annotator annotator(connector_ptrs_, &fed_->network(),
-                      static_cast<MovementPolicy>(options_.movement_policy));
-  XDB_RETURN_NOT_OK(annotator.Annotate(plan.get()));
-  report.consultations = annotator.consultations();
-  double ann_rtt = 0;
-  // Each consultation is one round trip to one of the two candidate DBMSes;
-  // charge the average middleware<->DBMS RTT.
-  for (int i = 0; i < report.consultations; ++i) {
-    ann_rtt += options_.consultation_cost;
-  }
-  report.phases.ann = ann_rtt;
-
-  XDB_ASSIGN_OR_RETURN(DelegationPlan dplan, FinalizePlan(*plan, query_id));
-
-  // --- Delegation + execution (the paper's combined exec phase). ---
-  DelegationEngine engine(connector_ptrs_);
-  fed_->BeginRun(dplan.tasks.back().server);
-  Result<XdbQuery> xdb_query = engine.Deploy(&dplan);
-  if (!xdb_query.ok()) {
-    fed_->FinishRun();
-    (void)engine.Cleanup();
-    return xdb_query.status();
-  }
-  // The client triggers the in-situ execution with the XDB query.
-  DbmsConnector* root_dc = connector_ptrs_.at(xdb_query->server);
-  Result<TablePtr> result = root_dc->RunQuery(xdb_query->sql);
-  if (!result.ok()) {
-    fed_->FinishRun();
-    (void)engine.Cleanup();
-    return result.status();
-  }
-  // The final result is the only data that leaves the federation.
-  fed_->network().RecordTransfer(xdb_query->server,
-                                 options_.middleware_node,
-                                 static_cast<double>(
-                                     (*result)->SerializedSize()),
-                                 1);
-  report.trace = fed_->FinishRun();
-  report.ddl_statements = engine.ddl_count();
-  report.ddl_log = engine.ddl_log();
-
+  // --- Plan annotation + delegation + execution, with failover. ---
+  // A retryable failure (node down, link dead) excludes the implicated
+  // placement/link and re-runs annotation + deployment on a fresh clone of
+  // the logical plan, up to max_failover_alternates alternate rounds. The
+  // recovery trail of failed rounds accumulates into the final trace.
+  PlacementConstraints constraints;
+  RunTrace accum;  // recovery observed across failed rounds
+  Status final_status = Status::OK();
+  last_trace_ = RunTrace();
+  const int max_rounds = std::max(0, options_.max_failover_alternates);
   TimingModel model(fed_, TimingOptions{options_.scale_up});
-  report.exec_timing = model.ModelRun(report.trace);
-  report.phases.exec =
-      report.exec_timing.total +
-      report.ddl_statements * options_.ddl_roundtrip_cost;
 
-  report.result = std::move(result).value();
-  report.plan = std::move(dplan);
-  report.xdb_query = *xdb_query;
+  for (int round = 0;; ++round) {
+    PlanPtr round_plan = plan->Clone();
+    Annotator annotator(connector_ptrs_, &fed_->network(),
+                        static_cast<MovementPolicy>(options_.movement_policy),
+                        constraints.empty() ? nullptr : &constraints);
+    Status ann_st = annotator.Annotate(round_plan.get());
+    report.consultations += annotator.consultations();
+    // Each consultation is one round trip to one of the two candidate
+    // DBMSes.
+    report.phases.ann +=
+        annotator.consultations() * options_.consultation_cost;
+    if (!ann_st.ok()) {
+      // Exclusions emptied the candidate set (kUnavailable) or the plan is
+      // unannotatable outright — either way there is nothing left to try.
+      final_status = std::move(ann_st);
+      break;
+    }
 
-  if (options_.cleanup_after_query) {
-    XDB_RETURN_NOT_OK(engine.Cleanup());
+    // Later rounds get their own name prefix: a fault window may have left
+    // the previous round's rollback incomplete, and redeployment must not
+    // collide with relations still awaiting cleanup.
+    std::string prefix =
+        round == 0 ? "xdb" : "xdb_r" + std::to_string(round);
+    Result<DelegationPlan> dplan_r =
+        FinalizePlan(*round_plan, query_id, prefix);
+    if (!dplan_r.ok()) {
+      final_status = dplan_r.status();
+      break;
+    }
+    DelegationPlan dplan = std::move(dplan_r).value();
+    const std::string round_root = dplan.tasks.back().server;
+
+    DelegationEngine engine(connector_ptrs_, fed_);
+    fed_->BeginRun(round_root);
+    Result<XdbQuery> xdb_query = engine.Deploy(&dplan);
+    Status run_status = xdb_query.status();
+    if (xdb_query.ok()) {
+      // The client triggers the in-situ execution with the XDB query.
+      DbmsConnector* root_dc = connector_ptrs_.at(xdb_query->server);
+      Result<TablePtr> result = root_dc->RunQuery(xdb_query->sql);
+      run_status = result.status();
+      if (result.ok()) {
+        // The final result is the only data that leaves the federation.
+        fed_->network().RecordTransfer(
+            xdb_query->server, options_.middleware_node,
+            static_cast<double>((*result)->SerializedSize()), 1);
+        report.trace = fed_->FinishRun();
+
+        // Fold the failed rounds' recovery trail into the winning trace.
+        report.trace.retries.insert(report.trace.retries.begin(),
+                                    accum.retries.begin(),
+                                    accum.retries.end());
+        report.trace.total_backoff_seconds += accum.total_backoff_seconds;
+        report.trace.injected_delay_seconds += accum.injected_delay_seconds;
+        report.trace.wasted_attempt_seconds += accum.wasted_attempt_seconds;
+        report.trace.replan_rounds = round;
+        report.trace.excluded_servers.assign(
+            constraints.excluded_servers.begin(),
+            constraints.excluded_servers.end());
+        if (round > 0 && report.trace.recovery_action != "failed") {
+          report.trace.recovery_action = "replanned";
+        }
+
+        report.ddl_statements = engine.ddl_count();
+        report.ddl_log = engine.ddl_log();
+        report.exec_timing = model.ModelRun(report.trace);
+        report.phases.exec =
+            report.exec_timing.total +
+            report.ddl_statements * options_.ddl_roundtrip_cost +
+            report.trace.total_backoff_seconds +
+            report.trace.injected_delay_seconds +
+            report.trace.wasted_attempt_seconds;
+
+        report.result = std::move(result).value();
+        report.plan = std::move(dplan);
+        report.xdb_query = *xdb_query;
+        last_trace_ = report.trace;
+
+        if (options_.cleanup_after_query) {
+          XDB_RETURN_NOT_OK(engine.Cleanup());
+        }
+        report.wall_seconds = NowSeconds() - wall_start;
+        return report;
+      }
+      // Execution failed after a successful deploy: roll the cascade back
+      // (Deploy-time failures already rolled themselves back).
+      (void)engine.Cleanup();
+    }
+
+    // This round is lost. Bank its recovery trail and its modelled cost.
+    RunTrace failed = fed_->FinishRun();
+    accum.retries.insert(accum.retries.end(), failed.retries.begin(),
+                         failed.retries.end());
+    accum.total_backoff_seconds += failed.total_backoff_seconds;
+    accum.injected_delay_seconds += failed.injected_delay_seconds;
+    accum.wasted_attempt_seconds +=
+        model.ModelRun(failed).total +
+        engine.ddl_count() * options_.ddl_roundtrip_cost;
+
+    if (!run_status.IsRetryable() || round >= max_rounds) {
+      final_status = std::move(run_status);
+      break;
+    }
+
+    // Decide what to exclude for the next round, preferring the injector's
+    // precise fault site, then the engine's failure site, then the round's
+    // root server. No new exclusion means no way to make progress.
+    bool progressed = false;
+    const FaultInjector* inj = fed_->fault_injector();
+    if (inj != nullptr && inj->last_fault().has_value() &&
+        inj->last_fault()->kind == FaultKind::kLinkDrop &&
+        !inj->last_fault()->peer.empty()) {
+      progressed = constraints.blocked_links
+                       .insert(PlacementConstraints::LinkKey(
+                           inj->last_fault()->server,
+                           inj->last_fault()->peer))
+                       .second;
+    }
+    if (!progressed) {
+      std::string culprit;
+      if (engine.last_failure().has_value()) {
+        culprit = engine.last_failure()->server;
+      } else if (inj != nullptr && inj->last_fault().has_value()) {
+        culprit = inj->last_fault()->server;
+      } else {
+        culprit = round_root;
+      }
+      if (!culprit.empty()) {
+        progressed = constraints.excluded_servers.insert(culprit).second;
+      }
+    }
+    if (!progressed) {
+      final_status = std::move(run_status);
+      break;
+    }
+    accum.replan_rounds = round + 1;
   }
-  report.wall_seconds = NowSeconds() - wall_start;
-  return report;
+
+  // Every alternate exhausted (or the failure was terminal). Preserve the
+  // recovery trail and name what was unavailable.
+  accum.recovery_action = "failed";
+  accum.excluded_servers.assign(constraints.excluded_servers.begin(),
+                                constraints.excluded_servers.end());
+  last_trace_ = std::move(accum);
+  if (final_status.IsRetryable() && !constraints.empty()) {
+    std::string unavailable;
+    for (const auto& s : constraints.excluded_servers) {
+      unavailable += (unavailable.empty() ? "" : ", ") + s;
+    }
+    for (const auto& [a, b] : constraints.blocked_links) {
+      unavailable +=
+          (unavailable.empty() ? "" : ", ") + a + "<->" + b;
+    }
+    return Status::Unavailable(
+        "query failed after " + std::to_string(last_trace_.replan_rounds) +
+        " failover round(s); unavailable: [" + unavailable +
+        "]: " + final_status.message());
+  }
+  return final_status;
 }
 
 }  // namespace xdb

@@ -33,6 +33,12 @@ struct XdbOptions {
   /// examples switch it off to show the deployed cascade).
   bool cleanup_after_query = true;
 
+  /// Failover replanning: when deployment or execution fails with a
+  /// retryable status (node down, link dead), re-run annotation with the
+  /// implicated placement excluded and redeploy, up to this many alternate
+  /// rounds. 0 disables failover (first failure is final).
+  int max_failover_alternates = 2;
+
   /// Morsel-parallel worker budget applied to every component DBMS's
   /// executor: 0 = hardware concurrency (default), 1 = legacy serial path.
   /// Wall-clock only; modelled times and traces are identical either way.
@@ -98,6 +104,11 @@ class XdbSystem {
   DbmsConnector* connector(const std::string& server) const;
   const XdbOptions& options() const { return options_; }
 
+  /// Trace of the most recent Query() — kept even when Query returned an
+  /// error, so the recovery trail (retries, rollbacks, replan rounds) of a
+  /// failed query stays inspectable.
+  const RunTrace& last_trace() const { return last_trace_; }
+
  private:
   double Rtt(const std::string& server) const;
 
@@ -107,6 +118,7 @@ class XdbSystem {
   std::map<std::string, DbmsConnector*> connector_ptrs_;
   std::unique_ptr<GlobalCatalog> catalog_;
   int query_counter_ = 0;
+  RunTrace last_trace_;
 };
 
 }  // namespace xdb

@@ -14,6 +14,10 @@ class AnnotatorFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     fed_.SetNetwork(Network::Lan({"dba", "dbb"}));
+    // The middleware node the connectors report control traffic against
+    // (XdbSystem registers it the same way; unregistered names are now
+    // rejected by the network's accounting).
+    fed_.network().AddNode("xdb");
     dba_ = fed_.AddServer("dba", EngineProfile::Postgres());
     dbb_ = fed_.AddServer("dbb", EngineProfile::Postgres());
     auto make_table = [](int rows) {

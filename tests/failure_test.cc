@@ -6,6 +6,7 @@
 
 #include "src/dbms/server.h"
 #include "src/mediator/mediator.h"
+#include "src/testing/fault_injector.h"
 #include "src/xdb/xdb.h"
 
 namespace xdb {
@@ -175,6 +176,55 @@ TEST_F(FailureFixture, CreateTableAsFromBrokenSelectLeavesNoTable) {
 TEST_F(FailureFixture, DuplicateBaseTableRejected) {
   auto t = std::make_shared<Table>(Schema({{"x", TypeId::kInt64}}));
   EXPECT_TRUE(d1_->CreateBaseTable("t1", t).IsCatalogError());
+}
+
+TEST_F(FailureFixture, RetriesExhaustedSurfaceUnavailableAndLeaveNoOrphans) {
+  // Every DDL everywhere fails, forever: retries exhaust, every failover
+  // alternate fails the same way, and the query must come back with a
+  // clear kUnavailable — with nothing left deployed.
+  FaultInjector injector(11);
+  FaultSpec spec;
+  spec.op = FaultOp::kDdl;
+  spec.kind = FaultKind::kTransientError;
+  injector.AddFault(spec);
+  fed_.SetFaultInjector(&injector);
+
+  XdbSystem xdb(&fed_);
+  auto r = xdb.Query("SELECT t1.b, t2.c FROM t1, t2 WHERE t1.a = t2.a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  ExpectClean();
+
+  const RunTrace& trace = xdb.last_trace();
+  EXPECT_EQ(trace.recovery_action, "failed");
+  ASSERT_FALSE(trace.retries.empty());
+  for (const auto& ev : trace.retries) {
+    EXPECT_EQ(ev.op, "ddl");
+    EXPECT_FALSE(ev.succeeded);
+    EXPECT_EQ(ev.attempts, 3);  // default policy: three attempts each
+  }
+  fed_.SetFaultInjector(nullptr);
+}
+
+TEST_F(FailureFixture, MidFetchFaultExhaustionCleansUpEverywhere) {
+  // Every inter-DBMS fetch fails: deployment succeeds, execution cannot,
+  // and every failover alternate hits the same wall. The deployed cascade
+  // must be rolled back on every path.
+  FaultInjector injector(12);
+  FaultSpec spec;
+  spec.op = FaultOp::kFetch;
+  spec.kind = FaultKind::kTransientError;
+  injector.AddFault(spec);
+  fed_.SetFaultInjector(&injector);
+
+  XdbSystem xdb(&fed_);
+  auto r = xdb.Query("SELECT t1.b, t2.c FROM t1, t2 WHERE t1.a = t2.a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  ExpectClean();
+  EXPECT_EQ(xdb.last_trace().recovery_action, "failed");
+  EXPECT_FALSE(xdb.last_trace().retries.empty());
+  fed_.SetFaultInjector(nullptr);
 }
 
 TEST_F(FailureFixture, ResultValueOrAndAccessors) {

@@ -99,4 +99,4 @@ void Run() {
 }  // namespace bench
 }  // namespace xdb
 
-int main() { xdb::bench::Run(); }
+XDB_BENCH_MAIN("ablation_optimizer")

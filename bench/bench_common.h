@@ -5,8 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json_writer.h"
 #include "src/common/str_util.h"
 #include "src/mediator/mediator.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/tpch/distributions.h"
 #include "src/tpch/queries.h"
 #include "src/xdb/xdb.h"
@@ -42,6 +46,94 @@ inline const char* SystemName(SystemKind kind) {
   return "?";
 }
 
+/// Machine-readable bench output (the `BENCH_*.json` artifacts), plus the
+/// optional observability attachments. Flags every bench binary accepts:
+///   --json <path>     record every Run() as a JSON report and write it on
+///                     Flush (schema: tools/validate_bench_json.py)
+///   --trace <path>    attach a SpanRecorder and write a Chrome trace-event
+///                     file (chrome://tracing / Perfetto) on Flush
+///   --metrics <path>  attach the global MetricsRegistry and write its
+///                     Prometheus text exposition on Flush
+/// All three are observational: modelled seconds and transfer bytes are
+/// bit-identical with and without them.
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport instance;
+    return instance;
+  }
+
+  /// Parses the observability flags; call first thing in main.
+  void Init(int argc, char** argv, std::string bench_name) {
+    name_ = std::move(bench_name);
+    for (int i = 1; i + 1 < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") json_path_ = argv[i + 1];
+      if (arg == "--trace") trace_path_ = argv[i + 1];
+      if (arg == "--metrics") metrics_path_ = argv[i + 1];
+    }
+  }
+
+  bool enabled() const { return !json_path_.empty(); }
+  SpanRecorder* spans() {
+    return trace_path_.empty() ? nullptr : &spans_;
+  }
+  MetricsRegistry* metrics() {
+    return metrics_path_.empty() ? nullptr : &MetricsRegistry::Global();
+  }
+
+  void Record(const std::string& system, const std::string& sql,
+              const XdbReport& report) {
+    if (!enabled()) return;
+    std::string entry = "{\"system\":\"" + JsonWriter::Escape(system) +
+                        "\",\"sql\":\"" + JsonWriter::Escape(sql) +
+                        "\",\"report\":" + XdbReportToJson(report) + "}";
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Writes everything the flags asked for; call last thing in main.
+  void Flush() {
+    if (enabled()) {
+      std::string out = "{\"bench\":\"" + JsonWriter::Escape(name_) +
+                        "\",\"scale_up\":" + std::to_string(kScaleUp) +
+                        ",\"runs\":[";
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += entries_[i];
+      }
+      out += "]}";
+      WriteFile(json_path_, out);
+    }
+    if (!trace_path_.empty()) {
+      spans_.FinalizeTimeline();
+      WriteFile(trace_path_, SpansToChromeTrace(spans_.spans()));
+    }
+    if (!metrics_path_.empty()) {
+      WriteFile(metrics_path_, MetricsRegistry::Global().TextExposition());
+    }
+  }
+
+ private:
+  static void WriteFile(const std::string& path,
+                        const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  std::string name_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<std::string> entries_;
+  SpanRecorder spans_;
+};
+
 /// A federation plus the query systems attached to it. Build one per
 /// (sf, td, engines, topology) and reuse across queries.
 struct Testbed {
@@ -54,6 +146,18 @@ struct Testbed {
 
   Result<XdbReport> Run(SystemKind kind, const std::string& sql) {
     fed->network().ResetStats();
+    // Observability attachments follow the CLI flags; when none were given
+    // both stay detached (null-pointer fast path, bit-identical results).
+    JsonReport& json = JsonReport::Instance();
+    fed->SetSpanRecorder(json.spans());
+    fed->SetMetricsRegistry(json.metrics());
+    Result<XdbReport> report = RunSystem(kind, sql);
+    if (report.ok()) json.Record(SystemName(kind), sql, *report);
+    return report;
+  }
+
+ private:
+  Result<XdbReport> RunSystem(SystemKind kind, const std::string& sql) {
     switch (kind) {
       case SystemKind::kXdb:
         return xdb->Query(sql);
@@ -130,3 +234,13 @@ inline void PrintRow(const std::string& label,
 
 }  // namespace bench
 }  // namespace xdb
+
+/// Standard bench entry point: parse observability flags, run, flush the
+/// requested artifacts. `name` becomes the "bench" field of the JSON report.
+#define XDB_BENCH_MAIN(name)                                      \
+  int main(int argc, char** argv) {                               \
+    xdb::bench::JsonReport::Instance().Init(argc, argv, (name));  \
+    xdb::bench::Run();                                            \
+    xdb::bench::JsonReport::Instance().Flush();                   \
+    return 0;                                                     \
+  }

@@ -45,4 +45,4 @@ void Run() {
 }  // namespace bench
 }  // namespace xdb
 
-int main() { xdb::bench::Run(); }
+XDB_BENCH_MAIN("fig01_motivation")

@@ -48,4 +48,4 @@ void Run() {
 }  // namespace bench
 }  // namespace xdb
 
-int main() { xdb::bench::Run(); }
+XDB_BENCH_MAIN("fig10_heterogeneous")

@@ -54,4 +54,4 @@ void Run() {
 }  // namespace bench
 }  // namespace xdb
 
-int main() { xdb::bench::Run(); }
+XDB_BENCH_MAIN("fig11_presto_scaling")

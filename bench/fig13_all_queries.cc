@@ -59,4 +59,4 @@ void Run() {
 }  // namespace bench
 }  // namespace xdb
 
-int main() { xdb::bench::Run(); }
+XDB_BENCH_MAIN("fig13_all_queries")

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace xdb {
+
+/// \brief Minimal streaming JSON writer (no external dependency).
+///
+/// The exporters in src/obs emit machine-readable run artefacts (Chrome
+/// trace-event files, RunTrace dumps, bench reports); this writer keeps that
+/// emission dependency-free and deterministic — keys are written in the
+/// order the caller supplies them, doubles use a fixed shortest-round-trip
+/// format, and non-finite doubles degrade to null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  const std::string& str() const { return out_; }
+
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+
+  void Key(const std::string& k) {
+    Comma();
+    out_ += '"';
+    out_ += Escape(k);
+    out_ += "\":";
+    fresh_ = true;  // the value follows without a comma
+  }
+
+  void String(const std::string& v) {
+    Comma();
+    out_ += '"';
+    out_ += Escape(v);
+    out_ += '"';
+  }
+  void Int(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+  void Double(double v) {
+    Comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+
+  // Convenience: key/value in one call.
+  void Field(const std::string& k, const std::string& v) {
+    Key(k);
+    String(v);
+  }
+  void Field(const std::string& k, const char* v) {
+    Key(k);
+    String(v);
+  }
+  void Field(const std::string& k, double v) {
+    Key(k);
+    Double(v);
+  }
+  void Field(const std::string& k, int64_t v) {
+    Key(k);
+    Int(v);
+  }
+  void Field(const std::string& k, int v) {
+    Key(k);
+    Int(v);
+  }
+  void Field(const std::string& k, uint64_t v) {
+    Key(k);
+    Int(static_cast<int64_t>(v));
+  }
+  void Field(const std::string& k, bool v) {
+    Key(k);
+    Bool(v);
+  }
+
+ private:
+  void Comma() {
+    if (!fresh_ && !out_.empty()) {
+      char c = out_.back();
+      if (c != '{' && c != '[' && c != ':') out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace xdb

@@ -40,6 +40,15 @@ void Federation::BeginRun(const std::string& root_server) {
 RunTrace Federation::FinishRun() {
   run_active_ = false;
   run_.per_server[run_.root_server].Add(run_.root_compute);
+  if (metrics_ != nullptr) {
+    // Useful/wasted split is only final once the run closed (a transfer can
+    // be marked failed after its PopFetch), so bytes flush here.
+    m_.bytes_useful->Increment(run_.UsefulTransferredBytes());
+    m_.bytes_wasted->Increment(run_.WastedTransferredBytes());
+    m_.backoff_seconds->Increment(run_.total_backoff_seconds);
+    m_.injected_delay_seconds->Increment(run_.injected_delay_seconds);
+    for (const auto& t : run_.transfers) m_.transfer_bytes->Observe(t.bytes);
+  }
   return std::move(run_);
 }
 
@@ -52,7 +61,7 @@ ComputeTrace* Federation::CurrentTrace() {
 int Federation::PushFetch(const std::string& src, const std::string& dst,
                           const std::string& relation) {
   if (!run_active_) {
-    stack_.push_back({-1, ComputeTrace{}});
+    stack_.push_back({-1, -1, ComputeTrace{}});
     return -1;
   }
   TransferRecord rec;
@@ -62,7 +71,17 @@ int Federation::PushFetch(const std::string& src, const std::string& dst,
   rec.dst = dst;
   rec.relation = relation;
   run_.transfers.push_back(rec);
-  stack_.push_back({rec.id, ComputeTrace{}});
+  int64_t span_id = -1;
+  if (spans_ != nullptr) {
+    span_id = spans_->StartSpan("fetch " + relation);
+    Span* sp = spans_->mutable_span(span_id);
+    sp->record_id = rec.id;
+    sp->Tag("src", src);
+    sp->Tag("dst", dst);
+    sp->Tag("relation", relation);
+  }
+  if (metrics_ != nullptr) m_.fetches->Increment();
+  stack_.push_back({rec.id, span_id, ComputeTrace{}});
   return rec.id;
 }
 
@@ -70,6 +89,15 @@ void Federation::PopFetch(int id, double rows, double bytes,
                           uint64_t messages, bool materialized) {
   Frame frame = std::move(stack_.back());
   stack_.pop_back();
+  if (spans_ != nullptr && frame.span_id >= 0) {
+    Span* sp = spans_->mutable_span(frame.span_id);
+    sp->Tag("rows", rows);
+    sp->Tag("bytes", bytes);
+    sp->Tag("messages", static_cast<int64_t>(messages));
+    if (materialized) sp->Tag("materialized", std::string("true"));
+    spans_->EndSpan(frame.span_id);
+  }
+  if (metrics_ != nullptr) m_.fetch_rows->Increment(rows);
   if (!run_active_ || id < 0) return;
   // Records are appended in id order (id == index within the run), so the
   // lookup is O(1) — the previous linear scan made deeply-fetching runs
@@ -91,10 +119,24 @@ Status Federation::InjectFault(const std::string& server, FaultOp op,
   Status st = injector_->OnOperation(server, op, peer);
   double delay = injector_->TakeInjectedDelay();
   if (run_active_ && delay > 0) run_.injected_delay_seconds += delay;
+  if (!st.ok() && metrics_ != nullptr) m_.faults_injected->Increment();
   return st;
 }
 
 void Federation::RecordRetry(RetryEvent event) {
+  if (spans_ != nullptr && (event.attempts > 1 || !event.succeeded)) {
+    int64_t id = spans_->StartSpan("retry " + event.op);
+    Span* sp = spans_->mutable_span(id);
+    sp->duration_seconds = event.backoff_seconds;
+    sp->Tag("server", event.server);
+    sp->Tag("attempts", static_cast<int64_t>(event.attempts));
+    sp->Tag("succeeded", std::string(event.succeeded ? "true" : "false"));
+    if (!event.error.empty()) sp->Tag("error", event.error);
+    spans_->EndSpan(id);
+  }
+  if (metrics_ != nullptr && event.attempts > 1) {
+    m_.retries->Increment(event.attempts - 1);
+  }
   if (!run_active_) return;
   run_.total_backoff_seconds += event.backoff_seconds;
   if (event.attempts > 1 && event.succeeded) NoteRecovery("retried");
@@ -112,6 +154,9 @@ int RecoveryRank(const std::string& action) {
 }  // namespace
 
 void Federation::NoteRecovery(const std::string& action) {
+  if (metrics_ != nullptr && action == "rolled-back") {
+    m_.rollbacks->Increment();
+  }
   if (!run_active_) return;
   if (RecoveryRank(action) > RecoveryRank(run_.recovery_action)) {
     run_.recovery_action = action;
@@ -129,6 +174,47 @@ void Federation::RecordControlMessage(const std::string& a,
                                       const std::string& b, double bytes) {
   network_.RecordTransfer(a, b, bytes, 1);
   if (run_active_) ++control_messages_;
+}
+
+void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
+  metrics_ = registry;
+  network_.set_metrics(registry);
+  if (registry == nullptr) {
+    m_ = FedMetrics{};
+    return;
+  }
+  m_.fetches = registry->GetCounter(
+      "xdb_federation_fetches_total", "Inter-DBMS foreign fetches started");
+  m_.fetch_rows = registry->GetCounter(
+      "xdb_federation_fetch_rows_total", "Rows delivered by foreign fetches");
+  m_.bytes_useful = registry->GetCounter(
+      "xdb_federation_useful_bytes_total",
+      "Transferred bytes of completed fetches (payload the consumer used)");
+  m_.bytes_wasted = registry->GetCounter(
+      "xdb_federation_wasted_bytes_total",
+      "Transferred bytes of failed fetches (dropped mid-flight / replanned "
+      "away)");
+  m_.retries = registry->GetCounter(
+      "xdb_federation_retries_total", "Extra attempts beyond the first");
+  m_.backoff_seconds = registry->GetCounter(
+      "xdb_federation_backoff_seconds_total", "Modelled retry backoff");
+  m_.rollbacks = registry->GetCounter(
+      "xdb_federation_rollbacks_total", "All-or-nothing deploy rollbacks");
+  m_.replan_rounds = registry->GetCounter(
+      "xdb_federation_replan_rounds_total", "Failover re-annotation rounds");
+  m_.faults_injected = registry->GetCounter(
+      "xdb_federation_faults_injected_total", "Faults fired by the injector");
+  m_.injected_delay_seconds = registry->GetCounter(
+      "xdb_federation_injected_delay_seconds_total",
+      "Modelled delay charged by injected faults");
+  m_.transfer_bytes = registry->GetHistogram(
+      "xdb_federation_transfer_bytes",
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
+      "Per-transfer payload size distribution");
+}
+
+void Federation::CountReplanRounds(int rounds) {
+  if (metrics_ != nullptr && rounds > 0) m_.replan_rounds->Increment(rounds);
 }
 
 }  // namespace xdb

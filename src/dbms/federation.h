@@ -10,6 +10,8 @@
 #include "src/dbms/engine_profile.h"
 #include "src/dbms/run_trace.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/testing/fault_injector.h"
 
 namespace xdb {
@@ -45,7 +47,31 @@ class Federation {
   void SetNetwork(Network net) {
     network_ = std::move(net);
     network_.set_fault_injector(injector_);
+    network_.set_metrics(metrics_);
   }
+
+  // --- observability (no-ops unless a recorder/registry is attached) ---
+
+  /// Attaches a span recorder (nullptr detaches — the default). While
+  /// attached, every query run yields a hierarchical timeline: the systems
+  /// open phase spans, the federation opens one span per inter-DBMS fetch
+  /// and per retry. Recording is observational only: modelled seconds,
+  /// transfer bytes, and results are bit-identical with and without it.
+  void SetSpanRecorder(SpanRecorder* recorder) { spans_ = recorder; }
+  SpanRecorder* span_recorder() const { return spans_; }
+
+  /// Attaches a metrics registry (nullptr detaches — the default; pass
+  /// &MetricsRegistry::Global() for process-wide exposition). Federation
+  /// counters: fetches, useful/wasted transferred bytes, retries, backoff,
+  /// rollbacks, replans, injected faults. Also handed to the network for
+  /// per-message accounting.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Raises the federation-level counter for one completed replan round
+  /// (failover accounting lives in XdbSystem; the counter lives here so
+  /// every system sharing the federation reports to one place).
+  void CountReplanRounds(int rounds);
 
   // --- fault injection & retry (no-ops unless an injector is attached) ---
 
@@ -112,12 +138,32 @@ class Federation {
  private:
   struct Frame {
     int record_id;
+    int64_t span_id;  // open fetch span (-1 when no recorder / no run)
     ComputeTrace trace;
+  };
+
+  /// Cached metric handles (resolved once at SetMetricsRegistry; hot paths
+  /// then increment lock-free).
+  struct FedMetrics {
+    Counter* fetches = nullptr;
+    Counter* fetch_rows = nullptr;
+    Counter* bytes_useful = nullptr;
+    Counter* bytes_wasted = nullptr;
+    Counter* retries = nullptr;
+    Counter* backoff_seconds = nullptr;
+    Counter* rollbacks = nullptr;
+    Counter* replan_rounds = nullptr;
+    Counter* faults_injected = nullptr;
+    Counter* injected_delay_seconds = nullptr;
+    Histogram* transfer_bytes = nullptr;
   };
 
   std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
   Network network_;
   FaultInjector* injector_ = nullptr;
+  SpanRecorder* spans_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  FedMetrics m_;
   RetryPolicy retry_policy_;
 
   bool run_active_ = false;

@@ -66,9 +66,28 @@ struct RunTrace {
   /// "none" < "retried" < "rolled-back" < "replanned" < "failed".
   std::string recovery_action = "none";
 
+  /// All bytes that hit the wire, delivered or not. Equals
+  /// UsefulTransferredBytes() + WastedTransferredBytes().
   double TotalTransferredBytes() const {
     double b = 0;
     for (const auto& t : transfers) b += t.bytes;
+    return b;
+  }
+  /// Bytes of transfers that completed (the payload the consumer used).
+  double UsefulTransferredBytes() const {
+    double b = 0;
+    for (const auto& t : transfers) {
+      if (!t.failed) b += t.bytes;
+    }
+    return b;
+  }
+  /// Bytes of failed transfers (link dropped mid-flight, or the round was
+  /// replanned away) — on the wire for nothing. Zero on a fault-free run.
+  double WastedTransferredBytes() const {
+    double b = 0;
+    for (const auto& t : transfers) {
+      if (t.failed) b += t.bytes;
+    }
     return b;
   }
   double TotalTransferredRows() const {

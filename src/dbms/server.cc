@@ -174,6 +174,10 @@ int DatabaseServer::Context::exec_threads() const {
   return server_->exec_threads();
 }
 
+OperatorProfiler* DatabaseServer::Context::profiler() {
+  return server_->profiler_;
+}
+
 int DatabaseServer::exec_threads() const {
   return exec_threads_ > 0 ? exec_threads_ : DefaultExecThreads();
 }
@@ -310,6 +314,37 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
       return Status::OK();
     }
     case sql::StatementKind::kExplain: {
+      if (stmt.explain_analyze) {
+        // EXPLAIN ANALYZE: execute the query with a per-operator profiler
+        // attached and annotate each plan line with observed rows,
+        // selectivity, morsel batches, and modelled operator seconds.
+        XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
+        OperatorProfiler prof;
+        OperatorProfiler* saved = profiler_;
+        profiler_ = &prof;
+        Result<TablePtr> result = ExecutePlanHere(*plan);
+        profiler_ = saved;
+        XDB_RETURN_NOT_OK(result.status());
+        fed_->CurrentTrace()->output_rows +=
+            static_cast<double>((*result)->num_rows());
+        auto table = std::make_shared<Table>(
+            Schema({{"plan", TypeId::kString}}));
+        for (const auto& line : prof.Render(profile_)) {
+          table->AppendRow({Value::String(line)});
+        }
+        double modelled = 0;
+        for (const auto& s : prof.records()) {
+          modelled += OperatorProfiler::ModelledSeconds(s, profile_);
+        }
+        char summary[128];
+        std::snprintf(summary, sizeof(summary),
+                      "(actual rows=%lld, modelled compute=%.6f s)",
+                      static_cast<long long>((*result)->num_rows()),
+                      modelled);
+        table->AppendRow({Value::String(summary)});
+        if (out) *out = std::move(table);
+        return Status::OK();
+      }
       // EXPLAIN as a statement: one text row per plan line, plus a cost
       // summary — roughly what a real DBMS prints.
       XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));

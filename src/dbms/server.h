@@ -7,6 +7,7 @@
 #include "src/dbms/engine_profile.h"
 #include "src/dbms/federation.h"
 #include "src/exec/executor.h"
+#include "src/exec/profile.h"
 #include "src/plan/planner.h"
 #include "src/sql/ast.h"
 
@@ -42,6 +43,13 @@ class DatabaseServer : public RelationResolver {
 
   /// Resolved worker count (never 0).
   int exec_threads() const;
+
+  /// Attaches a per-operator profiler to this server's executor (nullptr —
+  /// the default — detaches; the executor then pays one pointer compare per
+  /// plan node). EXPLAIN ANALYZE attaches one internally for the statement
+  /// it executes; benches attach one across whole runs. Observational only.
+  void set_profiler(OperatorProfiler* profiler) { profiler_ = profiler; }
+  OperatorProfiler* profiler() const { return profiler_; }
 
   // --- storage bootstrap (out-of-band; not part of the query interface) ---
 
@@ -123,6 +131,7 @@ class DatabaseServer : public RelationResolver {
                                   const std::string& relation) override;
     ComputeTrace* trace() override;
     int exec_threads() const override;
+    OperatorProfiler* profiler() override;
 
    private:
     DatabaseServer* server_;
@@ -136,6 +145,7 @@ class DatabaseServer : public RelationResolver {
   Federation* fed_;
   std::map<std::string, CatalogEntry> catalog_;
   int exec_threads_ = 0;  // 0 = hardware concurrency
+  OperatorProfiler* profiler_ = nullptr;
   bool materializing_ = false;  // inside CREATE TABLE AS (marks fetches)
 
   friend class Context;

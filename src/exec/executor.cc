@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/common/thread_pool.h"
+#include "src/exec/profile.h"
 #include "src/expr/vector_eval.h"
 
 namespace xdb {
@@ -41,6 +42,18 @@ namespace {
 // reproductions).
 constexpr size_t kMorselRows = 4096;      // filter / project / join probe
 constexpr size_t kAggMorselRows = 16384;  // aggregation partial-state ranges
+
+/// The profiler record of the operator currently executing, or nullptr when
+/// no profiler is attached. Only touched on the coordinating thread (stats
+/// are filled around — never inside — the morsel-parallel regions).
+OperatorStats* ProfCurrent(ExecContext* ctx) {
+  OperatorProfiler* prof = ctx->profiler();
+  return prof != nullptr ? prof->current() : nullptr;
+}
+
+int64_t MorselCount(size_t n, size_t morsel_rows) {
+  return static_cast<int64_t>((n + morsel_rows - 1) / morsel_rows);
+}
 
 /// Runs `fn(begin, end, buf)` over fixed-size morsels of [0, n), each morsel
 /// filling its own output buffer, then concatenates the buffers into `out`
@@ -199,6 +212,11 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
     // Cross product (kept for completeness; the planners avoid it).
     trace->join_build_rows += static_cast<double>(right->num_rows());
     trace->join_probe_rows += static_cast<double>(left->num_rows());
+    if (OperatorStats* s = ProfCurrent(ctx)) {
+      s->build_rows = static_cast<double>(right->num_rows());
+      s->probe_rows = static_cast<double>(left->num_rows());
+      s->batches = MorselCount(left->num_rows(), kMorselRows);
+    }
     MorselParallelAppend(
         workers, left->num_rows(), out.get(),
         [&](size_t begin, size_t end, std::vector<Row>* buf) {
@@ -234,6 +252,11 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
 
   trace->join_build_rows += static_cast<double>(build.num_rows());
   trace->join_probe_rows += static_cast<double>(probe.num_rows());
+  if (OperatorStats* s = ProfCurrent(ctx)) {
+    s->build_rows = static_cast<double>(build.num_rows());
+    s->probe_rows = static_cast<double>(probe.num_rows());
+    s->batches = MorselCount(probe.num_rows(), kMorselRows);
+  }
 
   const PartitionedJoinTable ht = BuildJoinTable(build, build_keys, workers);
 
@@ -277,6 +300,10 @@ Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
   ComputeTrace* trace = ctx->trace();
   const int workers = ctx->exec_threads();
   trace->agg_input_rows += static_cast<double>(input->num_rows());
+  if (OperatorStats* s = ProfCurrent(ctx)) {
+    s->input_rows = static_cast<double>(input->num_rows());
+    s->batches = MorselCount(input->num_rows(), kAggMorselRows);
+  }
 
   const size_t nkeys = plan.group_keys.size();
   const size_t naggs = plan.aggregates.size();
@@ -413,9 +440,10 @@ Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
   return out;
 }
 
-}  // namespace
-
-Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+/// The unprofiled executor body; ExecutePlan wraps it with the per-operator
+/// profiling hook. Child recursion goes back through ExecutePlan so every
+/// node gets its own record.
+Result<TablePtr> ExecutePlanNode(const PlanNode& plan, ExecContext* ctx) {
   ComputeTrace* trace = ctx->trace();
   switch (plan.kind) {
     case PlanKind::kScan: {
@@ -433,6 +461,10 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     case PlanKind::kFilter: {
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
       trace->filter_input_rows += static_cast<double>(in->num_rows());
+      if (OperatorStats* s = ProfCurrent(ctx)) {
+        s->input_rows = static_cast<double>(in->num_rows());
+        s->batches = MorselCount(in->num_rows(), kMorselRows);
+      }
       auto out = std::make_shared<Table>(plan.output_schema);
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
@@ -448,6 +480,10 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     case PlanKind::kProject: {
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
       trace->project_rows += static_cast<double>(in->num_rows());
+      if (OperatorStats* s = ProfCurrent(ctx)) {
+        s->input_rows = static_cast<double>(in->num_rows());
+        s->batches = MorselCount(in->num_rows(), kMorselRows);
+      }
       auto out = std::make_shared<Table>(plan.output_schema);
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
@@ -485,6 +521,10 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     case PlanKind::kSort: {
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
       trace->sort_rows += static_cast<double>(in->num_rows());
+      if (OperatorStats* s = ProfCurrent(ctx)) {
+        s->input_rows = static_cast<double>(in->num_rows());
+        s->batches = 1;
+      }
       auto out = std::make_shared<Table>(plan.output_schema, in->rows());
       std::stable_sort(
           out->mutable_rows().begin(), out->mutable_rows().end(),
@@ -507,6 +547,10 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
         XDB_ASSIGN_OR_RETURN(TablePtr in,
                              ExecutePlan(*child.children[0], ctx));
         trace->sort_rows += static_cast<double>(in->num_rows());
+        if (OperatorStats* s = ProfCurrent(ctx)) {
+          s->input_rows = static_cast<double>(in->num_rows());
+          s->batches = 1;
+        }
         auto less = [&](const Row& a, const Row& b) {
           for (const auto& [idx, desc] : child.sort_keys) {
             int c = a[static_cast<size_t>(idx)].Compare(
@@ -526,6 +570,10 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
                                        std::move(rows));
       }
       XDB_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(child, ctx));
+      if (OperatorStats* s = ProfCurrent(ctx)) {
+        s->input_rows = static_cast<double>(in->num_rows());
+        s->batches = 1;
+      }
       auto out = std::make_shared<Table>(plan.output_schema);
       size_t n = std::min<size_t>(static_cast<size_t>(plan.limit),
                                   in->num_rows());
@@ -539,6 +587,22 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
           "replaced it with a foreign table reference");
   }
   return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  OperatorProfiler* prof = ctx->profiler();
+  if (prof == nullptr) return ExecutePlanNode(plan, ctx);
+  size_t idx = prof->Enter(plan);
+  Result<TablePtr> result = ExecutePlanNode(plan, ctx);
+  OperatorStats& s = prof->stats(idx);
+  s.threads = ctx->exec_threads();
+  if (result.ok()) {
+    s.output_rows = static_cast<double>((*result)->num_rows());
+  }
+  prof->Exit(idx);
+  return result;
 }
 
 }  // namespace xdb

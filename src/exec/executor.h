@@ -9,6 +9,8 @@
 
 namespace xdb {
 
+class OperatorProfiler;
+
 /// \brief Row-flow counters recorded while a plan executes.
 ///
 /// These feed the timing model: modelled compute time is a weighted sum of
@@ -56,6 +58,12 @@ class ExecContext {
   /// Aggregate). 1 — the default — runs every morsel inline on the calling
   /// thread; results are bit-identical for any value (see ParallelFor).
   virtual int exec_threads() const { return 1; }
+
+  /// Per-operator profiler, or nullptr (the default — EXPLAIN ANALYZE and
+  /// benches attach one). When null the executor pays one pointer compare
+  /// per plan node; when attached, profiling is purely observational: row
+  /// flow, trace counters, and result bits are unchanged.
+  virtual OperatorProfiler* profiler() { return nullptr; }
 };
 
 /// \brief Executes a fully bound logical plan, materialising each operator.

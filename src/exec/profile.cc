@@ -1,0 +1,106 @@
+#include "src/exec/profile.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/str_util.h"
+
+namespace xdb {
+
+size_t OperatorProfiler::Enter(const PlanNode& node) {
+  OperatorStats s;
+  // First line of the node's rendering = the node's own label.
+  std::string rendered = node.ToString();
+  size_t eol = rendered.find('\n');
+  s.label = eol == std::string::npos ? rendered : rendered.substr(0, eol);
+  s.kind = node.kind;
+  s.depth = static_cast<int>(open_.size());
+  s.is_foreign = node.kind == PlanKind::kScan && node.is_foreign;
+  records_.push_back(std::move(s));
+  open_.push_back(records_.size() - 1);
+  return records_.size() - 1;
+}
+
+void OperatorProfiler::Exit(size_t index) {
+  // Balanced callers pop exactly one; popping through `index` is defensive
+  // against an operator erroring out past its children's Exits.
+  while (!open_.empty()) {
+    size_t top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void OperatorProfiler::Clear() {
+  records_.clear();
+  open_.clear();
+}
+
+double OperatorProfiler::ModelledSeconds(const OperatorStats& s,
+                                         const EngineProfile& p,
+                                         double scale_up) {
+  double rows = 0;
+  switch (s.kind) {
+    case PlanKind::kScan:
+      return s.output_rows * scale_up *
+             (s.is_foreign ? p.fetch_row_cost : p.scan_row_cost);
+    case PlanKind::kFilter:
+      rows = s.input_rows * p.filter_row_cost;
+      break;
+    case PlanKind::kProject:
+      rows = s.input_rows * p.project_row_cost;
+      break;
+    case PlanKind::kJoin:
+      rows = (s.build_rows + s.probe_rows + s.output_rows) * p.join_row_cost;
+      break;
+    case PlanKind::kAggregate:
+      rows = (s.input_rows + s.output_rows) * p.agg_row_cost;
+      break;
+    case PlanKind::kSort:
+      rows = s.input_rows * p.sort_row_cost;
+      break;
+    case PlanKind::kLimit:
+    case PlanKind::kPlaceholder:
+      rows = 0;
+      break;
+  }
+  return rows * scale_up;
+}
+
+std::vector<std::string> OperatorProfiler::Render(const EngineProfile& p,
+                                                  double scale_up) const {
+  std::vector<std::string> lines;
+  lines.reserve(records_.size());
+  for (const auto& s : records_) {
+    std::string line(static_cast<size_t>(s.depth) * 2, ' ');
+    line += s.label;
+    char buf[160];
+    if (s.kind == PlanKind::kJoin) {
+      std::snprintf(buf, sizeof(buf),
+                    "  (build=%.0f probe=%.0f rows=%.0f batches=%lld "
+                    "threads=%d modelled=%.6fs)",
+                    s.build_rows, s.probe_rows, s.output_rows,
+                    static_cast<long long>(s.batches), s.threads,
+                    ModelledSeconds(s, p, scale_up));
+    } else if (s.kind == PlanKind::kFilter) {
+      std::snprintf(buf, sizeof(buf),
+                    "  (in=%.0f rows=%.0f sel=%.1f%% batches=%lld "
+                    "threads=%d modelled=%.6fs)",
+                    s.input_rows, s.output_rows, 100.0 * s.Selectivity(),
+                    static_cast<long long>(s.batches), s.threads,
+                    ModelledSeconds(s, p, scale_up));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  (in=%.0f rows=%.0f batches=%lld threads=%d "
+                    "modelled=%.6fs)",
+                    s.input_rows, s.output_rows,
+                    static_cast<long long>(s.batches), s.threads,
+                    ModelledSeconds(s, p, scale_up));
+    }
+    line += buf;
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace xdb

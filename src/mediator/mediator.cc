@@ -1,6 +1,7 @@
 #include "src/mediator/mediator.h"
 
 #include <chrono>
+#include <optional>
 
 #include "src/sql/parser.h"
 #include "src/xdb/delegation_engine.h"
@@ -143,6 +144,20 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
   const double wall_start = NowSeconds();
   const int query_id = ++query_counter_;
 
+  SpanRecorder* spans = fed_->span_recorder();
+  struct FinalizeSpans {
+    SpanRecorder* r;
+    ~FinalizeSpans() {
+      if (r != nullptr) r->FinalizeTimeline();
+    }
+  } finalize_spans{spans};
+  SpanGuard query_span(spans, "mediator query " + std::to_string(query_id));
+  if (Span* sp = query_span.span()) {
+    sp->Tag("mediator", MediatorKindToString(kind_));
+    sp->Tag("sql", sql);
+  }
+  const size_t span_begin = spans != nullptr ? spans->size() : 0;
+
   catalog_->ResetCounters();
 
   XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
@@ -181,7 +196,13 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
     return query.status();
   }
   DbmsConnector* root_dc = connector_ptrs_.at(query->server);
-  Result<TablePtr> result = root_dc->RunQuery(query->sql);
+  std::optional<Result<TablePtr>> exec_result;
+  {
+    SpanGuard exec_span(spans, "execute");
+    if (Span* sp = exec_span.span()) sp->Tag("server", query->server);
+    exec_result.emplace(root_dc->RunQuery(query->sql));
+  }
+  Result<TablePtr>& result = *exec_result;
   if (!result.ok()) {
     fed_->FinishRun();
     (void)engine.Cleanup();
@@ -193,6 +214,20 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
 
   TimingModel model(fed_, TimingOptions{options_.scale_up});
   report.exec_timing = model.ModelRun(report.trace);
+  if (spans != nullptr) {
+    // Attach modelled wire seconds to this query's transfer spans.
+    std::vector<Span>& all = spans->mutable_spans();
+    for (size_t i = span_begin; i < all.size(); ++i) {
+      Span& s = all[i];
+      if (s.record_id < 0) continue;
+      size_t idx = static_cast<size_t>(s.record_id);
+      if (idx < report.trace.transfers.size() &&
+          report.trace.transfers[idx].id == s.record_id) {
+        s.duration_seconds =
+            model.TransferSeconds(report.trace.transfers[idx]);
+      }
+    }
+  }
   // MW systems report "actual execution" the way the paper measures it:
   // mediator-local compute with subquery results preloaded.
   report.exec_timing.compute_only = model.LocalizedCompute(report.trace);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/testing/fault_injector.h"
 
 namespace xdb {
@@ -54,6 +55,18 @@ bool Network::IsReachable(const std::string& a, const std::string& b) const {
   return blocked_.count(Key(a, b)) == 0;
 }
 
+void Network::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_bytes_ = nullptr;
+    metric_messages_ = nullptr;
+    return;
+  }
+  metric_bytes_ = registry->GetCounter(
+      "xdb_network_bytes_total", "Bytes put on the wire (all links)");
+  metric_messages_ = registry->GetCounter(
+      "xdb_network_messages_total", "Messages put on the wire (all links)");
+}
+
 void Network::RecordTransfer(const std::string& src, const std::string& dst,
                              double bytes, uint64_t messages) {
   bool src_ok = CheckNodeKnown(src);
@@ -61,6 +74,10 @@ void Network::RecordTransfer(const std::string& src, const std::string& dst,
   LinkStats& s = stats_[{src, dst}];
   s.bytes += bytes;
   s.messages += messages;
+  if (metric_bytes_ != nullptr) {
+    metric_bytes_->Increment(bytes);
+    metric_messages_->Increment(static_cast<double>(messages));
+  }
 }
 
 double Network::TotalBytes() const {

@@ -9,6 +9,8 @@
 namespace xdb {
 
 class FaultInjector;
+class MetricsRegistry;
+class Counter;
 
 /// \brief Physical properties of a (bidirectional) link.
 struct LinkProps {
@@ -80,6 +82,11 @@ class Network {
     injector_ = injector;
   }
 
+  /// Attaches a metrics registry: every RecordTransfer additionally bumps
+  /// process-wide byte/message counters (nullptr detaches; the default).
+  /// Purely additive — the per-link stats() accounting is unchanged.
+  void set_metrics(MetricsRegistry* registry);
+
   /// Traffic counters per directed pair.
   const std::map<std::pair<std::string, std::string>, LinkStats>& stats()
       const {
@@ -120,6 +127,8 @@ class Network {
   std::vector<std::string> nodes_;
   LinkProps default_link_;
   const FaultInjector* injector_ = nullptr;
+  Counter* metric_bytes_ = nullptr;     // xdb_network_bytes_total
+  Counter* metric_messages_ = nullptr;  // xdb_network_messages_total
   mutable std::set<std::string> unknown_nodes_;
   std::map<std::pair<std::string, std::string>, LinkProps> links_;
   std::set<std::pair<std::string, std::string>> blocked_;

@@ -1,0 +1,125 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xdb {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_storage_ =
+      std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  counts_ = counts_storage_.get();
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                          bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    e.counter = std::make_unique<Counter>();
+    if (!help.empty()) e.help = help;
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    e.gauge = std::make_unique<Gauge>();
+    if (!help.empty()) e.help = help;
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    if (!help.empty()) e.help = help;
+  }
+  return e.histogram.get();
+}
+
+namespace {
+std::string FormatNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) out += "# HELP " + name + " " + e.help + "\n";
+    if (e.counter) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + FormatNumber(e.counter->Value()) + "\n";
+    }
+    if (e.gauge) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + FormatNumber(e.gauge->Value()) + "\n";
+    }
+    if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      out += "# TYPE " + name + " histogram\n";
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        out += name + "_bucket{le=\"" + FormatNumber(h.upper_bounds()[i]) +
+               "\"} " + std::to_string(cumulative) + "\n";
+      }
+      cumulative += h.BucketCount(h.upper_bounds().size());
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+             "\n";
+      out += name + "_sum " + FormatNumber(h.Sum()) + "\n";
+      out += name + "_count " + std::to_string(h.Count()) + "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->Reset();
+    if (e.gauge) e.gauge->Reset();
+    if (e.histogram) e.histogram->Reset();
+  }
+}
+
+}  // namespace xdb

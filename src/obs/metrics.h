@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xdb {
+
+/// \brief Monotonic counter. Increment is a relaxed atomic CAS loop —
+/// callers may increment from morsel workers without coordination, and the
+/// counter never feeds back into modelled results, so relaxed ordering is
+/// sufficient.
+class Counter {
+ public:
+  void Increment(double v = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// \brief Last-written-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// \brief Fixed-bucket histogram: cumulative bucket counts over caller-
+/// supplied upper bounds (an implicit +Inf bucket collects the rest), plus
+/// observation count and sum — the Prometheus histogram shape.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Non-cumulative count of observations that fell into bucket `i`
+  /// (`i == bounds.size()` is the overflow bucket).
+  int64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::unique_ptr<std::atomic<int64_t>[]> counts_storage_;
+  std::atomic<int64_t>* counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// \brief Process-wide registry of named metrics with text exposition.
+///
+/// Registration is mutex-guarded and idempotent (GetCounter twice returns
+/// the same object); the returned pointers are stable for the registry's
+/// lifetime, so hot paths register once and increment lock-free thereafter.
+/// Federation-level instrumentation (fetches, useful/wasted bytes, retries,
+/// rollbacks, replans) reports here; `TextExposition()` renders everything
+/// in Prometheus text format for scraping or test assertions.
+class MetricsRegistry {
+ public:
+  /// The process-wide default instance.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `upper_bounds` is only consulted on first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds,
+                          const std::string& help = "");
+
+  /// Prometheus-style text exposition (HELP/TYPE + samples, name-sorted).
+  std::string TextExposition() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void ResetAll();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace xdb

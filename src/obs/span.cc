@@ -1,0 +1,79 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xdb {
+
+void Span::Tag(std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  tags.emplace_back(std::move(key), buf);
+}
+
+const std::string* Span::FindTag(const std::string& key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t SpanRecorder::StartSpan(std::string name) {
+  Span span;
+  span.id = static_cast<int64_t>(spans_.size());
+  span.parent_id = stack_.empty() ? -1 : stack_.back();
+  span.name = std::move(name);
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void SpanRecorder::EndSpan(int64_t id) {
+  // Pop until (and including) `id`; unbalanced inner spans close with it.
+  while (!stack_.empty()) {
+    int64_t top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+Span* SpanRecorder::mutable_span(int64_t id) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return nullptr;
+  return &spans_[static_cast<size_t>(id)];
+}
+
+void SpanRecorder::Clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+double SpanRecorder::Layout(
+    size_t index, double start,
+    const std::vector<std::vector<size_t>>& children) {
+  Span& span = spans_[index];
+  span.start_seconds = start;
+  double cursor = start;
+  for (size_t child : children[index]) {
+    cursor = Layout(child, cursor, children);
+  }
+  double extent = std::max(cursor - start, span.duration_seconds);
+  span.finish_seconds = start + extent;
+  return span.finish_seconds;
+}
+
+void SpanRecorder::FinalizeTimeline() {
+  std::vector<std::vector<size_t>> children(spans_.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    int64_t p = spans_[i].parent_id;
+    if (p < 0) {
+      roots.push_back(i);
+    } else {
+      children[static_cast<size_t>(p)].push_back(i);
+    }
+  }
+  double cursor = 0;
+  for (size_t r : roots) cursor = Layout(r, cursor, children);
+}
+
+}  // namespace xdb

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xdb {
+
+/// \brief One node of a query's hierarchical timeline: a named interval in
+/// *modelled* time (the repository never measures wall clock for reported
+/// figures — see DESIGN.md §5), with string tags and a parent link.
+///
+/// Spans mirror the delegation DAG: the root span is the query, phase spans
+/// (prepare / lopt / round / annotate / deploy / execute) nest under it,
+/// deploy emits one span per delegation task, and every inter-DBMS fetch,
+/// retry and replan round gets its own span. Transfer spans carry the
+/// RunTrace record id so the timing model's per-transfer seconds can be
+/// attached after the run is modelled.
+struct Span {
+  int64_t id = -1;
+  int64_t parent_id = -1;  // -1: a root
+  std::string name;
+
+  /// Modelled interval, filled by SpanRecorder::FinalizeTimeline().
+  double start_seconds = 0;
+  double finish_seconds = 0;
+
+  /// This span's own modelled duration (excluding children), set by whoever
+  /// knows the modelled cost (phase costs, retry backoff, transfer seconds).
+  double duration_seconds = 0;
+
+  /// RunTrace transfer record id for fetch/transfer spans; -1 otherwise.
+  int64_t record_id = -1;
+
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  void Tag(std::string key, std::string value) {
+    tags.emplace_back(std::move(key), std::move(value));
+  }
+  void Tag(std::string key, double value);
+  void Tag(std::string key, int64_t value) {
+    tags.emplace_back(std::move(key), std::to_string(value));
+  }
+  const std::string* FindTag(const std::string& key) const;
+};
+
+/// \brief Recorder for span trees, attached to a Federation like the fault
+/// injector: a null pointer disables every hook (the fault-free discipline —
+/// when detached, instrumented code performs exactly one pointer compare).
+///
+/// Spans are append-only and identified by index; StartSpan/EndSpan maintain
+/// an open-span stack so nested instrumentation (fetches triggering fetches)
+/// parents correctly without threading ids through every call site.
+/// Recording never advances modelled time by itself: durations are attached
+/// where they are known, and FinalizeTimeline() lays out start/finish so the
+/// tree renders as a timeline (children sequential within their parent,
+/// parents covering their children).
+class SpanRecorder {
+ public:
+  /// Opens a span under the current innermost open span (or as a root) and
+  /// returns its id.
+  int64_t StartSpan(std::string name);
+
+  /// Closes the innermost open span with id `id`. Ids of spans above it on
+  /// the stack are closed too (defensive; balanced callers never hit this).
+  void EndSpan(int64_t id);
+
+  /// The innermost open span id, or -1.
+  int64_t current() const { return stack_.empty() ? -1 : stack_.back(); }
+
+  /// Mutable access for tagging / setting durations. Invalidated by the
+  /// next StartSpan (vector growth) — do not hold across calls.
+  Span* mutable_span(int64_t id);
+  const std::vector<Span>& spans() const { return spans_; }
+  /// Bulk mutation (attaching modelled transfer durations post-run).
+  std::vector<Span>& mutable_spans() { return spans_; }
+
+  /// Drops every recorded span (e.g. between queries when exporting one
+  /// query per file).
+  void Clear();
+
+  /// Assigns start/finish: roots and siblings are laid out sequentially,
+  /// children start at their parent's start, and each span covers
+  /// max(own duration, sum of child extents). Call after the run (and after
+  /// transfer durations were attached); idempotent.
+  void FinalizeTimeline();
+
+  size_t size() const { return spans_.size(); }
+
+ private:
+  double Layout(size_t index, double start,
+                const std::vector<std::vector<size_t>>& children);
+
+  std::vector<Span> spans_;
+  std::vector<int64_t> stack_;
+};
+
+/// \brief RAII guard: opens a span on a possibly-null recorder and closes it
+/// on scope exit. The null case costs one pointer compare.
+class SpanGuard {
+ public:
+  SpanGuard(SpanRecorder* recorder, std::string name)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) id_ = recorder_->StartSpan(std::move(name));
+  }
+  ~SpanGuard() {
+    if (recorder_ != nullptr) recorder_->EndSpan(id_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  int64_t id() const { return id_; }
+  /// Null when no recorder is attached.
+  Span* span() { return recorder_ ? recorder_->mutable_span(id_) : nullptr; }
+
+ private:
+  SpanRecorder* recorder_;
+  int64_t id_ = -1;
+};
+
+}  // namespace xdb

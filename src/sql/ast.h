@@ -66,6 +66,10 @@ struct Statement {
 
   SelectPtr select;  // kSelect / kExplain / kCreateView / kCreateTableAs
 
+  /// kExplain: EXPLAIN ANALYZE — execute the query and annotate the plan
+  /// with observed per-operator statistics instead of estimates.
+  bool explain_analyze = false;
+
   // CREATE VIEW / CREATE TABLE AS / CREATE FOREIGN TABLE / DROP
   std::string relation_name;
   RelationKind relation_kind = RelationKind::kTable;  // for DROP

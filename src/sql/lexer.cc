@@ -18,7 +18,7 @@ const std::unordered_set<std::string>& Keywords() {
       "LIKE",   "IN",     "IS",     "NULL",   "TRUE",    "FALSE",
       "CASE",   "WHEN",   "THEN",   "ELSE",   "END",     "CREATE",
       "VIEW",   "TABLE",  "FOREIGN", "SERVER", "OPTIONS", "DROP",
-      "EXPLAIN", "DATE",  "EXTRACT", "YEAR",  "ASC",     "DESC",
+      "EXPLAIN", "ANALYZE", "DATE", "EXTRACT", "YEAR",  "ASC",   "DESC",
       "MATERIALIZED", "IF", "EXISTS", "DISTINCT",
       "SUM",    "AVG",    "COUNT",  "MIN",    "MAX",
   };

@@ -19,6 +19,7 @@ class Parser {
     auto stmt = std::make_shared<Statement>();
     if (MatchKeyword("EXPLAIN")) {
       stmt->kind = StatementKind::kExplain;
+      stmt->explain_analyze = MatchKeyword("ANALYZE");
       XDB_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
       XDB_RETURN_NOT_OK(ExpectEnd());
       return stmt;

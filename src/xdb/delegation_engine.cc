@@ -86,8 +86,12 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
     return st;
   };
 
+  SpanRecorder* spans = fed_ != nullptr ? fed_->span_recorder() : nullptr;
+
   // Tasks are already topologically ordered (producers first).
   for (auto& task : plan->tasks) {
+    SpanGuard task_span(spans, "deploy " + task.view_name);
+    if (Span* sp = task_span.span()) sp->Tag("server", task.server);
     auto dc_it = connectors_.find(task.server);
     if (dc_it == connectors_.end()) {
       return fail(
@@ -143,6 +147,11 @@ Result<XdbQuery> DelegationEngine::Deploy(DelegationPlan* plan) {
 }
 
 Status DelegationEngine::Cleanup() {
+  SpanGuard cleanup_span(
+      fed_ != nullptr ? fed_->span_recorder() : nullptr, "cleanup");
+  if (Span* sp = cleanup_span.span()) {
+    sp->Tag("relations", static_cast<int64_t>(created_.size()));
+  }
   Status first_error = Status::OK();
   // Relations that could not be dropped stay in the ledger (in creation
   // order) so a later Cleanup can finish the job.

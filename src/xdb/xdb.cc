@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "src/sql/parser.h"
 #include "src/testing/fault_injector.h"
@@ -64,6 +65,18 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   catalog_->ResetCounters();
   for (auto& [name, dc] : connector_ptrs_) dc->ResetCounters();
 
+  // Observability is opt-in per federation; `spans == nullptr` keeps every
+  // hook below at one pointer compare and never changes modelled results.
+  SpanRecorder* spans = fed_->span_recorder();
+  struct FinalizeSpans {
+    SpanRecorder* r;
+    ~FinalizeSpans() {
+      if (r != nullptr) r->FinalizeTimeline();
+    }
+  } finalize_spans{spans};
+  SpanGuard query_span(spans, "query " + std::to_string(query_id));
+  if (Span* sp = query_span.span()) sp->Tag("sql", sql);
+
   // --- Preparation: parse/analyze + gather metadata via connectors. ---
   XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
   double prep_rtt = 0;
@@ -89,6 +102,14 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
       options_.parse_analyze_cost +
       report.metadata_roundtrips * options_.metadata_roundtrip_cost +
       prep_rtt;
+  if (spans != nullptr) {
+    int64_t id = spans->StartSpan("prepare");
+    Span* sp = spans->mutable_span(id);
+    sp->duration_seconds = report.phases.prep;
+    sp->Tag("metadata_roundtrips",
+            static_cast<int64_t>(report.metadata_roundtrips));
+    spans->EndSpan(id);
+  }
 
   // --- Logical optimization (pushdowns + left-deep join ordering). ---
   Planner planner(catalog_.get(), options_.planner);
@@ -97,6 +118,11 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   report.phases.lopt = options_.lopt_base_cost +
                        options_.lopt_per_join_cost *
                            static_cast<double>(njoins);
+  if (spans != nullptr) {
+    int64_t id = spans->StartSpan("logical-optimize");
+    spans->mutable_span(id)->duration_seconds = report.phases.lopt;
+    spans->EndSpan(id);
+  }
 
   // --- Plan annotation + delegation + execution, with failover. ---
   // A retryable failure (node down, link dead) excludes the implicated
@@ -110,12 +136,41 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   const int max_rounds = std::max(0, options_.max_failover_alternates);
   TimingModel model(fed_, TimingOptions{options_.scale_up});
 
+  // Once a round's trace is final, give its transfer spans the modelled
+  // wire seconds (spans carry the record id; ids restart every round, so
+  // only spans recorded since `begin` are matched against `tr`).
+  auto attach_transfer_seconds = [&](size_t begin, const RunTrace& tr) {
+    if (spans == nullptr) return;
+    std::vector<Span>& all = spans->mutable_spans();
+    for (size_t i = begin; i < all.size(); ++i) {
+      Span& s = all[i];
+      if (s.record_id < 0) continue;
+      size_t idx = static_cast<size_t>(s.record_id);
+      if (idx < tr.transfers.size() &&
+          tr.transfers[idx].id == s.record_id) {
+        s.duration_seconds = model.TransferSeconds(tr.transfers[idx]);
+      }
+    }
+  };
+
   for (int round = 0;; ++round) {
+    const size_t round_span_begin = spans != nullptr ? spans->size() : 0;
+    SpanGuard round_span(spans, "round " + std::to_string(round));
     PlanPtr round_plan = plan->Clone();
     Annotator annotator(connector_ptrs_, &fed_->network(),
                         static_cast<MovementPolicy>(options_.movement_policy),
                         constraints.empty() ? nullptr : &constraints);
-    Status ann_st = annotator.Annotate(round_plan.get());
+    Status ann_st;
+    {
+      SpanGuard ann_span(spans, "annotate");
+      ann_st = annotator.Annotate(round_plan.get());
+      if (Span* sp = ann_span.span()) {
+        sp->duration_seconds =
+            annotator.consultations() * options_.consultation_cost;
+        sp->Tag("consultations",
+                static_cast<int64_t>(annotator.consultations()));
+      }
+    }
     report.consultations += annotator.consultations();
     // Each consultation is one round trip to one of the two candidate
     // DBMSes.
@@ -144,12 +199,29 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
 
     DelegationEngine engine(connector_ptrs_, fed_);
     fed_->BeginRun(round_root);
-    Result<XdbQuery> xdb_query = engine.Deploy(&dplan);
+    std::optional<Result<XdbQuery>> deploy_result;
+    {
+      SpanGuard deploy_span(spans, "deploy");
+      if (Span* sp = deploy_span.span()) {
+        sp->Tag("tasks", static_cast<int64_t>(dplan.tasks.size()));
+        sp->Tag("root", round_root);
+      }
+      deploy_result.emplace(engine.Deploy(&dplan));
+    }
+    Result<XdbQuery>& xdb_query = *deploy_result;
     Status run_status = xdb_query.status();
     if (xdb_query.ok()) {
       // The client triggers the in-situ execution with the XDB query.
       DbmsConnector* root_dc = connector_ptrs_.at(xdb_query->server);
-      Result<TablePtr> result = root_dc->RunQuery(xdb_query->sql);
+      int64_t exec_span_id = -1;
+      std::optional<Result<TablePtr>> exec_result;
+      {
+        SpanGuard exec_span(spans, "execute");
+        exec_span_id = exec_span.id();
+        if (Span* sp = exec_span.span()) sp->Tag("server", xdb_query->server);
+        exec_result.emplace(root_dc->RunQuery(xdb_query->sql));
+      }
+      Result<TablePtr>& result = *exec_result;
       run_status = result.status();
       if (result.ok()) {
         // The final result is the only data that leaves the federation.
@@ -165,6 +237,12 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
         report.trace.total_backoff_seconds += accum.total_backoff_seconds;
         report.trace.injected_delay_seconds += accum.injected_delay_seconds;
         report.trace.wasted_attempt_seconds += accum.wasted_attempt_seconds;
+        // Compute spent serving failed rounds' transfers really happened on
+        // those servers — fold it into the per-server totals (it is already
+        // part of wasted_attempt_seconds on the time side).
+        for (const auto& [srv, compute] : accum.per_server) {
+          report.trace.per_server[srv].Add(compute);
+        }
         report.trace.replan_rounds = round;
         report.trace.excluded_servers.assign(
             constraints.excluded_servers.begin(),
@@ -176,6 +254,12 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
         report.ddl_statements = engine.ddl_count();
         report.ddl_log = engine.ddl_log();
         report.exec_timing = model.ModelRun(report.trace);
+        attach_transfer_seconds(round_span_begin, report.trace);
+        if (spans != nullptr && exec_span_id >= 0) {
+          spans->mutable_span(exec_span_id)->duration_seconds =
+              report.exec_timing.total;
+        }
+        fed_->CountReplanRounds(round);
         report.phases.exec =
             report.exec_timing.total +
             report.ddl_statements * options_.ddl_roundtrip_cost +
@@ -197,14 +281,21 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
       // Execution failed after a successful deploy: roll the cascade back
       // (Deploy-time failures already rolled themselves back).
       (void)engine.Cleanup();
+      fed_->NoteRecovery("rolled-back");
     }
 
     // This round is lost. Bank its recovery trail and its modelled cost.
     RunTrace failed = fed_->FinishRun();
+    attach_transfer_seconds(round_span_begin, failed);
     accum.retries.insert(accum.retries.end(), failed.retries.begin(),
                          failed.retries.end());
     accum.total_backoff_seconds += failed.total_backoff_seconds;
     accum.injected_delay_seconds += failed.injected_delay_seconds;
+    // Per-server compute of the lost round: the servers really did that
+    // work to serve the round's transfers, so it stays on their totals.
+    for (const auto& [srv, compute] : failed.per_server) {
+      accum.per_server[srv].Add(compute);
+    }
     accum.wasted_attempt_seconds +=
         model.ModelRun(failed).total +
         engine.ddl_count() * options_.ddl_roundtrip_cost;
@@ -253,6 +344,7 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   accum.recovery_action = "failed";
   accum.excluded_servers.assign(constraints.excluded_servers.begin(),
                                 constraints.excluded_servers.end());
+  fed_->CountReplanRounds(accum.replan_rounds);
   last_trace_ = std::move(accum);
   if (final_status.IsRetryable() && !constraints.empty()) {
     std::string unavailable;
@@ -269,6 +361,50 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
         "]: " + final_status.message());
   }
   return final_status;
+}
+
+Result<TablePtr> XdbSystem::ExplainAnalyze(const std::string& sql) {
+  // One profiler per component DBMS; detached again before returning so
+  // subsequent queries go back to the unprofiled fast path.
+  std::map<std::string, OperatorProfiler> profilers;
+  for (const auto& name : fed_->ServerNames()) {
+    fed_->GetServer(name)->set_profiler(&profilers[name]);
+  }
+  Result<XdbReport> report = Query(sql);
+  for (const auto& name : fed_->ServerNames()) {
+    fed_->GetServer(name)->set_profiler(nullptr);
+  }
+  XDB_RETURN_NOT_OK(report.status());
+
+  auto table = std::make_shared<Table>(Schema({{"plan", TypeId::kString}}));
+  auto emit = [&](const std::string& line) {
+    table->AppendRow({Value::String(line)});
+  };
+  char buf[256];
+  const PhaseBreakdown& ph = report->phases;
+  std::snprintf(buf, sizeof(buf),
+                "phases: prep=%.3fs lopt=%.3fs ann=%.3fs exec=%.3fs "
+                "total=%.3fs",
+                ph.prep, ph.lopt, ph.ann, ph.exec, ph.total());
+  emit(buf);
+  const RunTrace& trace = report->trace;
+  std::snprintf(buf, sizeof(buf),
+                "transfers: %zu (%.0f rows, useful=%.0f B, wasted=%.0f B)",
+                trace.transfers.size(), trace.TotalTransferredRows(),
+                trace.UsefulTransferredBytes(),
+                trace.WastedTransferredBytes());
+  emit(buf);
+  for (const auto& name : fed_->ServerNames()) {
+    const OperatorProfiler& prof = profilers[name];
+    if (prof.records().empty()) continue;
+    const DatabaseServer* server = fed_->GetServer(name);
+    emit("server " + name + " (" + server->profile().vendor + "):");
+    for (const auto& line :
+         prof.Render(server->profile(), options_.scale_up)) {
+      emit("  " + line);
+    }
+  }
+  return table;
 }
 
 }  // namespace xdb

@@ -100,6 +100,15 @@ class XdbSystem {
   /// Runs a cross-database SQL query end to end.
   Result<XdbReport> Query(const std::string& sql);
 
+  /// EXPLAIN ANALYZE at the federation level: runs the query with a
+  /// per-operator profiler attached to every component DBMS and returns a
+  /// one-column text table — phase breakdown, transfer totals (useful vs.
+  /// wasted bytes), then each server's executed operator tree annotated
+  /// with observed rows, selectivity, morsel batches, and modelled operator
+  /// seconds (at the configured scale-up). Purely observational: the
+  /// underlying Query() produces bit-identical results and modelled times.
+  Result<TablePtr> ExplainAnalyze(const std::string& sql);
+
   GlobalCatalog& catalog() { return *catalog_; }
   DbmsConnector* connector(const std::string& server) const;
   const XdbOptions& options() const { return options_; }

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_*.json file emitted by a bench binary's --json flag.
+
+Checks the exporter schema (src/obs/export.cc + bench/bench_common.h) with
+no third-party dependencies, so CI can gate on it:
+
+  python3 tools/validate_bench_json.py out.json
+
+Exit code 0 when the file matches the schema, 1 with a list of violations
+otherwise. Also enforces the accounting invariants the exporters promise:
+useful + wasted == total bytes, and phase totals summing up.
+"""
+
+import json
+import sys
+
+PHASE_KEYS = {"prep", "lopt", "ann", "exec", "total"}
+TIMING_KEYS = {"total", "compute_only", "transfer_share"}
+REPORT_KEYS = {
+    "phases",
+    "exec_timing",
+    "wall_seconds",
+    "metadata_roundtrips",
+    "consultations",
+    "ddl_statements",
+    "result_rows",
+    "trace",
+}
+TRACE_KEYS = {
+    "root_server",
+    "root_compute",
+    "transfers",
+    "per_server",
+    "retries",
+    "total_backoff_seconds",
+    "injected_delay_seconds",
+    "wasted_attempt_seconds",
+    "replan_rounds",
+    "excluded_servers",
+    "recovery_action",
+    "useful_bytes",
+    "wasted_bytes",
+    "total_bytes",
+    "total_rows",
+}
+COMPUTE_KEYS = {
+    "scan_rows",
+    "foreign_rows",
+    "filter_input_rows",
+    "project_rows",
+    "join_build_rows",
+    "join_probe_rows",
+    "join_output_rows",
+    "agg_input_rows",
+    "agg_output_rows",
+    "sort_rows",
+    "materialized_rows",
+    "output_rows",
+}
+TRANSFER_KEYS = {
+    "id",
+    "parent_id",
+    "src",
+    "dst",
+    "relation",
+    "rows",
+    "bytes",
+    "messages",
+    "materialized",
+    "failed",
+    "producer_compute",
+}
+RECOVERY_ACTIONS = {"none", "retried", "rolled-back", "replanned", "failed"}
+
+
+class Validator:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, path, message):
+        self.errors.append(f"{path}: {message}")
+
+    def require_keys(self, obj, keys, path):
+        if not isinstance(obj, dict):
+            self.error(path, f"expected object, got {type(obj).__name__}")
+            return False
+        missing = keys - obj.keys()
+        extra = obj.keys() - keys
+        if missing:
+            self.error(path, f"missing keys: {sorted(missing)}")
+        if extra:
+            self.error(path, f"unexpected keys: {sorted(extra)}")
+        return not missing
+
+    def require_number(self, obj, key, path, minimum=None):
+        v = obj.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            self.error(f"{path}.{key}", f"expected number, got {v!r}")
+            return None
+        if minimum is not None and v < minimum:
+            self.error(f"{path}.{key}", f"expected >= {minimum}, got {v}")
+        return v
+
+    def check_compute(self, obj, path):
+        if self.require_keys(obj, COMPUTE_KEYS, path):
+            for key in COMPUTE_KEYS:
+                self.require_number(obj, key, path, minimum=0)
+
+    def check_transfer(self, obj, path):
+        if not self.require_keys(obj, TRANSFER_KEYS, path):
+            return
+        self.require_number(obj, "id", path, minimum=0)
+        self.require_number(obj, "rows", path, minimum=0)
+        self.require_number(obj, "bytes", path, minimum=0)
+        self.require_number(obj, "messages", path, minimum=1)
+        for key in ("src", "dst", "relation"):
+            if not isinstance(obj[key], str) or not obj[key]:
+                self.error(f"{path}.{key}", "expected non-empty string")
+        for key in ("materialized", "failed"):
+            if not isinstance(obj[key], bool):
+                self.error(f"{path}.{key}", "expected bool")
+        self.check_compute(obj["producer_compute"], f"{path}.producer_compute")
+
+    def check_trace(self, trace, path):
+        if not self.require_keys(trace, TRACE_KEYS, path):
+            return
+        self.check_compute(trace["root_compute"], f"{path}.root_compute")
+        if not isinstance(trace["transfers"], list):
+            self.error(f"{path}.transfers", "expected array")
+            return
+        useful = wasted = 0.0
+        for i, t in enumerate(trace["transfers"]):
+            self.check_transfer(t, f"{path}.transfers[{i}]")
+            if isinstance(t, dict) and isinstance(t.get("bytes"), (int, float)):
+                if t.get("failed"):
+                    wasted += t["bytes"]
+                else:
+                    useful += t["bytes"]
+        if not isinstance(trace["per_server"], dict):
+            self.error(f"{path}.per_server", "expected object")
+        else:
+            for server, compute in trace["per_server"].items():
+                self.check_compute(compute, f"{path}.per_server[{server}]")
+        if trace.get("recovery_action") not in RECOVERY_ACTIONS:
+            self.error(f"{path}.recovery_action",
+                       f"expected one of {sorted(RECOVERY_ACTIONS)}, "
+                       f"got {trace.get('recovery_action')!r}")
+        # Accounting invariants of the useful/wasted split.
+        u = self.require_number(trace, "useful_bytes", path, minimum=0)
+        w = self.require_number(trace, "wasted_bytes", path, minimum=0)
+        total = self.require_number(trace, "total_bytes", path, minimum=0)
+        if None not in (u, w, total):
+            if abs((u + w) - total) > 1e-6:
+                self.error(f"{path}.total_bytes",
+                           f"useful ({u}) + wasted ({w}) != total ({total})")
+            if abs(u - useful) > 1e-6 or abs(w - wasted) > 1e-6:
+                self.error(f"{path}.useful_bytes",
+                           "summary counters disagree with the transfer list")
+
+    def check_report(self, report, path):
+        if not self.require_keys(report, REPORT_KEYS, path):
+            return
+        if self.require_keys(report["phases"], PHASE_KEYS, f"{path}.phases"):
+            parts = [
+                self.require_number(report["phases"], k, f"{path}.phases",
+                                    minimum=0)
+                for k in ("prep", "lopt", "ann", "exec")
+            ]
+            total = self.require_number(report["phases"], "total",
+                                        f"{path}.phases", minimum=0)
+            if None not in parts and total is not None:
+                if abs(sum(parts) - total) > 1e-6:
+                    self.error(f"{path}.phases.total",
+                               f"phases sum to {sum(parts)}, total says "
+                               f"{total}")
+        if self.require_keys(report["exec_timing"], TIMING_KEYS,
+                             f"{path}.exec_timing"):
+            for key in TIMING_KEYS:
+                self.require_number(report["exec_timing"], key,
+                                    f"{path}.exec_timing")
+        for key in ("metadata_roundtrips", "consultations", "ddl_statements",
+                    "result_rows"):
+            self.require_number(report, key, path, minimum=0)
+        self.check_trace(report["trace"], f"{path}.trace")
+
+    def check_file(self, doc):
+        if not self.require_keys(doc, {"bench", "scale_up", "runs"}, "$"):
+            return
+        if not isinstance(doc["bench"], str) or not doc["bench"]:
+            self.error("$.bench", "expected non-empty string")
+        self.require_number(doc, "scale_up", "$", minimum=1)
+        if not isinstance(doc["runs"], list):
+            self.error("$.runs", "expected array")
+            return
+        if not doc["runs"]:
+            self.error("$.runs", "expected at least one recorded run")
+        for i, run in enumerate(doc["runs"]):
+            path = f"$.runs[{i}]"
+            if not self.require_keys(run, {"system", "sql", "report"}, path):
+                continue
+            if not isinstance(run["system"], str) or not run["system"]:
+                self.error(f"{path}.system", "expected non-empty string")
+            if not isinstance(run["sql"], str) or not run["sql"]:
+                self.error(f"{path}.sql", "expected non-empty string")
+            self.check_report(run["report"], f"{path}.report")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{argv[1]}: not readable as JSON: {e}", file=sys.stderr)
+        return 1
+    v = Validator()
+    v.check_file(doc)
+    if v.errors:
+        print(f"{argv[1]}: {len(v.errors)} schema violation(s):",
+              file=sys.stderr)
+        for err in v.errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    runs = len(doc["runs"])
+    print(f"{argv[1]}: OK ({doc['bench']}, {runs} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

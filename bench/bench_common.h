@@ -10,6 +10,7 @@
 #include "src/mediator/mediator.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
 #include "src/obs/span.h"
 #include "src/tpch/distributions.h"
 #include "src/tpch/queries.h"
@@ -54,7 +55,9 @@ inline const char* SystemName(SystemKind kind) {
 ///                     file (chrome://tracing / Perfetto) on Flush
 ///   --metrics <path>  attach the global MetricsRegistry and write its
 ///                     Prometheus text exposition on Flush
-/// All three are observational: modelled seconds and transfer bytes are
+///   --querylog <path> attach a QueryLog and write its JSON history on
+///                     Flush (one QueryStats per executed query)
+/// All four are observational: modelled seconds and transfer bytes are
 /// bit-identical with and without them.
 class JsonReport {
  public:
@@ -71,6 +74,7 @@ class JsonReport {
       if (arg == "--json") json_path_ = argv[i + 1];
       if (arg == "--trace") trace_path_ = argv[i + 1];
       if (arg == "--metrics") metrics_path_ = argv[i + 1];
+      if (arg == "--querylog") querylog_path_ = argv[i + 1];
     }
   }
 
@@ -80,6 +84,9 @@ class JsonReport {
   }
   MetricsRegistry* metrics() {
     return metrics_path_.empty() ? nullptr : &MetricsRegistry::Global();
+  }
+  QueryLog* query_log() {
+    return querylog_path_.empty() ? nullptr : &query_log_;
   }
 
   void Record(const std::string& system, const std::string& sql,
@@ -109,7 +116,10 @@ class JsonReport {
       WriteFile(trace_path_, SpansToChromeTrace(spans_.spans()));
     }
     if (!metrics_path_.empty()) {
-      WriteFile(metrics_path_, MetricsRegistry::Global().TextExposition());
+      WriteFile(metrics_path_, MetricsRegistry::Global().ExposeText());
+    }
+    if (!querylog_path_.empty()) {
+      WriteFile(querylog_path_, query_log_.ToJson());
     }
   }
 
@@ -130,8 +140,10 @@ class JsonReport {
   std::string json_path_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string querylog_path_;
   std::vector<std::string> entries_;
   SpanRecorder spans_;
+  QueryLog query_log_;
 };
 
 /// A federation plus the query systems attached to it. Build one per
@@ -151,6 +163,7 @@ struct Testbed {
     JsonReport& json = JsonReport::Instance();
     fed->SetSpanRecorder(json.spans());
     fed->SetMetricsRegistry(json.metrics());
+    fed->SetQueryLog(json.query_log());
     Result<XdbReport> report = RunSystem(kind, sql);
     if (report.ok()) json.Record(SystemName(kind), sql, *report);
     return report;

@@ -1,20 +1,30 @@
 // xdbcli — an interactive shell over an XDB federation, demonstrating the
 // full client experience: the user types one SQL statement per line; XDB
 // answers from data spread over four TPC-H DBMSes. Meta-commands:
-//   \tables        list the global schema and where each table lives
-//   \plan <sql>    show the delegation plan without executing
-//   \ddl <sql>     run the query and show the generated DDL cascade
-//   \explain <sql> ask a single DBMS for its local plan (EXPLAIN passthru)
+//   \tables         list the global schema and where each table lives
+//   \plan <sql>     show the delegation plan without executing
+//   \ddl <sql>      run the query and show the generated DDL cascade
+//   \explain <sql>  ask a single DBMS for its local plan (EXPLAIN passthru)
+//   \analyze <sql>  federation-level EXPLAIN ANALYZE (phases, transfers,
+//                   per-operator tree with modelled seconds)
+//   \trace <file>   dump the last query's span timeline as Chrome trace JSON
+//   \stats          query history: per-query modelled time, bytes, recovery
+//   \metrics        Prometheus exposition of every labeled counter
 //   \quit
 //
 // Run with a SQL script on stdin or interactively:
 //   echo "SELECT COUNT(*) AS n FROM lineitem l" | ./example_xdbcli
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "src/common/str_util.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/span.h"
 #include "src/tpch/distributions.h"
 #include "src/xdb/xdb.h"
 
@@ -41,8 +51,22 @@ int main() {
   std::printf("loading TPC-H (sf 0.005) over TD1...\n");
   auto fed = tpch::BuildTpchFederation(0.005, tpch::TD1());
   XdbSystem xdb(fed.get());
+
+  // The full observability stack rides along: bounded span recorder (the
+  // shell keeps only the last query — Clear before each run), query history
+  // ring, and the labeled metrics registry. All observational: results and
+  // modelled times are bit-identical with the stack detached.
+  SpanRecorder recorder;
+  recorder.set_capacity(4096);
+  QueryLog history(64);
+  MetricsRegistry metrics;
+  fed->SetSpanRecorder(&recorder);
+  fed->SetQueryLog(&history);
+  fed->SetMetricsRegistry(&metrics);
+
   std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
-              "\\ddl <sql>, \\quit\n");
+              "\\ddl <sql>, \\analyze <sql>, \\trace <file>, \\stats, "
+              "\\metrics, \\quit\n");
 
   std::string line;
   while (true) {
@@ -54,6 +78,38 @@ int main() {
     if (line == "\\quit" || line == "\\q") break;
     if (line == "\\tables") {
       PrintTables(&xdb, fed.get());
+      continue;
+    }
+    if (line == "\\stats") {
+      for (const auto& l : history.Summary()) std::printf("%s\n", l.c_str());
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::printf("%s", metrics.ExposeText().c_str());
+      continue;
+    }
+    if (StartsWith(line, "\\trace")) {
+      std::string path = Trim(line.substr(6));
+      if (path.empty()) path = "xdbcli_trace.json";
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("error: cannot write %s\n", path.c_str());
+        continue;
+      }
+      out << SpansToChromeTrace(recorder.spans());
+      std::printf("wrote %zu spans of the last query to %s "
+                  "(chrome://tracing / Perfetto)\n",
+                  recorder.spans().size(), path.c_str());
+      continue;
+    }
+    if (StartsWith(line, "\\analyze ")) {
+      recorder.Clear();
+      auto table = xdb.ExplainAnalyze(line.substr(9));
+      if (!table.ok()) {
+        std::printf("error: %s\n", table.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", (*table)->ToDisplayString(200).c_str());
       continue;
     }
     bool plan_only = StartsWith(line, "\\plan ");
@@ -79,6 +135,7 @@ int main() {
       continue;
     }
 
+    recorder.Clear();  // \trace shows the most recent query only
     auto report = xdb.Query(line);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());

@@ -42,14 +42,68 @@ RunTrace Federation::FinishRun() {
   run_.per_server[run_.root_server].Add(run_.root_compute);
   if (metrics_ != nullptr) {
     // Useful/wasted split is only final once the run closed (a transfer can
-    // be marked failed after its PopFetch), so bytes flush here.
+    // be marked failed after its PopFetch), so bytes flush here — to the
+    // process-wide totals and, per transfer, to the producing server's and
+    // the link's labeled series.
     m_.bytes_useful->Increment(run_.UsefulTransferredBytes());
     m_.bytes_wasted->Increment(run_.WastedTransferredBytes());
     m_.backoff_seconds->Increment(run_.total_backoff_seconds);
     m_.injected_delay_seconds->Increment(run_.injected_delay_seconds);
-    for (const auto& t : run_.transfers) m_.transfer_bytes->Observe(t.bytes);
+    for (const auto& t : run_.transfers) {
+      m_.transfer_bytes->Observe(t.bytes);
+      const std::string link = t.src + "->" + t.dst;
+      auto it = m_.transfer_bytes_by_link.find(link);
+      if (it == m_.transfer_bytes_by_link.end()) {
+        it = m_.transfer_bytes_by_link
+                 .emplace(link,
+                          metrics_->GetHistogram(
+                              "xdb_federation_transfer_bytes",
+                              {{"link", link}}, {}))
+                 .first;
+      }
+      it->second->Observe(t.bytes);
+      if (t.failed) {
+        ServerCell(&m_.wasted_by_server, "xdb_federation_wasted_bytes_total",
+                   t.src)
+            ->Increment(t.bytes);
+        LinkCell(&m_.wasted_by_link, "xdb_federation_wasted_bytes_total",
+                 t.src, t.dst)
+            ->Increment(t.bytes);
+      } else {
+        ServerCell(&m_.useful_by_server, "xdb_federation_useful_bytes_total",
+                   t.src)
+            ->Increment(t.bytes);
+        LinkCell(&m_.useful_by_link, "xdb_federation_useful_bytes_total",
+                 t.src, t.dst)
+            ->Increment(t.bytes);
+      }
+    }
   }
   return std::move(run_);
+}
+
+Counter* Federation::ServerCell(std::map<std::string, Counter*>* cache,
+                                const char* name,
+                                const std::string& server) {
+  auto it = cache->find(server);
+  if (it == cache->end()) {
+    it = cache->emplace(server,
+                        metrics_->GetCounter(name, {{"server", server}}))
+             .first;
+  }
+  return it->second;
+}
+
+Counter* Federation::LinkCell(std::map<std::string, Counter*>* cache,
+                              const char* name, const std::string& src,
+                              const std::string& dst) {
+  std::string link = src + "->" + dst;
+  auto it = cache->find(link);
+  if (it == cache->end()) {
+    it = cache->emplace(link, metrics_->GetCounter(name, {{"link", link}}))
+             .first;
+  }
+  return it->second;
 }
 
 ComputeTrace* Federation::CurrentTrace() {
@@ -80,7 +134,11 @@ int Federation::PushFetch(const std::string& src, const std::string& dst,
     sp->Tag("dst", dst);
     sp->Tag("relation", relation);
   }
-  if (metrics_ != nullptr) m_.fetches->Increment();
+  if (metrics_ != nullptr) {
+    m_.fetches->Increment();
+    ServerCell(&m_.fetches_by_server, "xdb_federation_fetches_total", src)
+        ->Increment();
+  }
   stack_.push_back({rec.id, span_id, ComputeTrace{}});
   return rec.id;
 }
@@ -89,7 +147,10 @@ void Federation::PopFetch(int id, double rows, double bytes,
                           uint64_t messages, bool materialized) {
   Frame frame = std::move(stack_.back());
   stack_.pop_back();
-  if (spans_ != nullptr && frame.span_id >= 0) {
+  // span_id == -1 means no span was opened (no recorder at PushFetch);
+  // kDroppedSpan (sampled-out tree) must still be ended to keep the
+  // recorder's open-span stack balanced.
+  if (spans_ != nullptr && frame.span_id != -1) {
     Span* sp = spans_->mutable_span(frame.span_id);
     sp->Tag("rows", rows);
     sp->Tag("bytes", bytes);
@@ -111,6 +172,11 @@ void Federation::PopFetch(int id, double rows, double bytes,
   rec.materialized = materialized;
   rec.producer_compute = frame.trace;
   run_.per_server[rec.src].Add(frame.trace);
+  if (metrics_ != nullptr) {
+    ServerCell(&m_.fetch_rows_by_server, "xdb_federation_fetch_rows_total",
+               rec.src)
+        ->Increment(rows);
+  }
 }
 
 Status Federation::InjectFault(const std::string& server, FaultOp op,
@@ -119,7 +185,12 @@ Status Federation::InjectFault(const std::string& server, FaultOp op,
   Status st = injector_->OnOperation(server, op, peer);
   double delay = injector_->TakeInjectedDelay();
   if (run_active_ && delay > 0) run_.injected_delay_seconds += delay;
-  if (!st.ok() && metrics_ != nullptr) m_.faults_injected->Increment();
+  if (!st.ok() && metrics_ != nullptr) {
+    m_.faults_injected->Increment();
+    ServerCell(&m_.faults_by_server, "xdb_federation_faults_injected_total",
+               server)
+        ->Increment();
+  }
   return st;
 }
 
@@ -136,6 +207,9 @@ void Federation::RecordRetry(RetryEvent event) {
   }
   if (metrics_ != nullptr && event.attempts > 1) {
     m_.retries->Increment(event.attempts - 1);
+    ServerCell(&m_.retries_by_server, "xdb_federation_retries_total",
+               event.server)
+        ->Increment(event.attempts - 1);
   }
   if (!run_active_) return;
   run_.total_backoff_seconds += event.backoff_seconds;
@@ -179,10 +253,10 @@ void Federation::RecordControlMessage(const std::string& a,
 void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
   metrics_ = registry;
   network_.set_metrics(registry);
-  if (registry == nullptr) {
-    m_ = FedMetrics{};
-    return;
-  }
+  // Drop every cached handle (including the lazily-built labeled cells):
+  // they point into the previous registry.
+  m_ = FedMetrics{};
+  if (registry == nullptr) return;
   m_.fetches = registry->GetCounter(
       "xdb_federation_fetches_total", "Inter-DBMS foreign fetches started");
   m_.fetch_rows = registry->GetCounter(
@@ -207,6 +281,9 @@ void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
   m_.injected_delay_seconds = registry->GetCounter(
       "xdb_federation_injected_delay_seconds_total",
       "Modelled delay charged by injected faults");
+  m_.ddl = registry->GetCounter(
+      "xdb_delegation_ddl_total",
+      "DDL statements issued to component DBMSs (deploy / cleanup)");
   m_.transfer_bytes = registry->GetHistogram(
       "xdb_federation_transfer_bytes",
       {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
@@ -215,6 +292,13 @@ void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
 
 void Federation::CountReplanRounds(int rounds) {
   if (metrics_ != nullptr && rounds > 0) m_.replan_rounds->Increment(rounds);
+}
+
+void Federation::CountDdl(const std::string& server) {
+  if (metrics_ == nullptr) return;
+  m_.ddl->Increment();
+  ServerCell(&m_.ddl_by_server, "xdb_delegation_ddl_total", server)
+      ->Increment();
 }
 
 }  // namespace xdb

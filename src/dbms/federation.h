@@ -11,6 +11,7 @@
 #include "src/dbms/run_trace.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
 #include "src/obs/span.h"
 #include "src/testing/fault_injector.h"
 
@@ -63,15 +64,27 @@ class Federation {
   /// Attaches a metrics registry (nullptr detaches — the default; pass
   /// &MetricsRegistry::Global() for process-wide exposition). Federation
   /// counters: fetches, useful/wasted transferred bytes, retries, backoff,
-  /// rollbacks, replans, injected faults. Also handed to the network for
-  /// per-message accounting.
+  /// rollbacks, replans, injected faults — each both as a process-wide
+  /// total and as per-`{server=...}` / per-`{link="src->dst"}` labeled
+  /// series (DESIGN.md §8 label-cardinality rules). Also handed to the
+  /// network for per-message and per-link accounting.
   void SetMetricsRegistry(MetricsRegistry* registry);
   MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attaches a query-history log (nullptr detaches — the default). The
+  /// query systems (XdbSystem, MediatorSystem) bank one QueryStats record
+  /// per top-level query here. Observational only.
+  void SetQueryLog(QueryLog* log) { query_log_ = log; }
+  QueryLog* query_log() const { return query_log_; }
 
   /// Raises the federation-level counter for one completed replan round
   /// (failover accounting lives in XdbSystem; the counter lives here so
   /// every system sharing the federation reports to one place).
   void CountReplanRounds(int rounds);
+
+  /// Counts one issued DDL statement on `server` (delegation deploy /
+  /// cleanup path) under `xdb_delegation_ddl_total{server=...}`.
+  void CountDdl(const std::string& server);
 
   // --- fault injection & retry (no-ops unless an injector is attached) ---
 
@@ -143,7 +156,9 @@ class Federation {
   };
 
   /// Cached metric handles (resolved once at SetMetricsRegistry; hot paths
-  /// then increment lock-free).
+  /// then increment lock-free). The labeled per-server / per-link cells are
+  /// resolved lazily on first use and memoized here — label cardinality is
+  /// bounded by the topology, so the caches are small and stable.
   struct FedMetrics {
     Counter* fetches = nullptr;
     Counter* fetch_rows = nullptr;
@@ -155,14 +170,34 @@ class Federation {
     Counter* replan_rounds = nullptr;
     Counter* faults_injected = nullptr;
     Counter* injected_delay_seconds = nullptr;
+    Counter* ddl = nullptr;
     Histogram* transfer_bytes = nullptr;
+
+    std::map<std::string, Counter*> fetches_by_server;
+    std::map<std::string, Counter*> fetch_rows_by_server;
+    std::map<std::string, Counter*> useful_by_server;
+    std::map<std::string, Counter*> wasted_by_server;
+    std::map<std::string, Counter*> retries_by_server;
+    std::map<std::string, Counter*> faults_by_server;
+    std::map<std::string, Counter*> ddl_by_server;
+    std::map<std::string, Counter*> useful_by_link;
+    std::map<std::string, Counter*> wasted_by_link;
+    std::map<std::string, Histogram*> transfer_bytes_by_link;
   };
+
+  /// Memoized `{server=...}` cell of counter family `name`.
+  Counter* ServerCell(std::map<std::string, Counter*>* cache,
+                      const char* name, const std::string& server);
+  /// Memoized `{link="src->dst"}` cell of counter family `name`.
+  Counter* LinkCell(std::map<std::string, Counter*>* cache, const char* name,
+                    const std::string& src, const std::string& dst);
 
   std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
   Network network_;
   FaultInjector* injector_ = nullptr;
   SpanRecorder* spans_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  QueryLog* query_log_ = nullptr;
   FedMetrics m_;
   RetryPolicy retry_policy_;
 

@@ -140,6 +140,63 @@ Status MediatorSystem::AnnotateMw(PlanNode* node) const {
 }
 
 Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
+  Result<XdbReport> result = QueryImpl(sql);
+  RecordQueryStats(sql, result);
+  return result;
+}
+
+void MediatorSystem::RecordQueryStats(const std::string& sql,
+                                      const Result<XdbReport>& result) {
+  QueryLog* qlog = fed_->query_log();
+  MetricsRegistry* metrics = fed_->metrics();
+  if (qlog == nullptr && metrics == nullptr) return;
+
+  QueryStats qs;
+  qs.system = MediatorKindToString(kind_);
+  qs.sql = sql;
+  qs.ok = result.ok();
+  if (result.ok()) {
+    const XdbReport& rep = *result;
+    qs.prep_seconds = rep.phases.prep;
+    qs.lopt_seconds = rep.phases.lopt;
+    qs.ann_seconds = rep.phases.ann;
+    qs.exec_seconds = rep.phases.exec;
+    qs.useful_bytes = rep.trace.UsefulTransferredBytes();
+    qs.wasted_bytes = rep.trace.WastedTransferredBytes();
+    qs.transfer_rows = rep.trace.TotalTransferredRows();
+    qs.transfers = static_cast<int>(rep.trace.transfers.size());
+    qs.retries = static_cast<int>(rep.trace.retries.size());
+    qs.recovery_action = rep.trace.recovery_action;
+    TimingModel model(fed_, TimingOptions{options_.scale_up});
+    for (const auto& [srv, compute] : rep.trace.per_server) {
+      const DatabaseServer* server = fed_->GetServer(srv);
+      if (server == nullptr) continue;
+      qs.per_server_seconds[srv] =
+          model.ComputeSeconds(compute, server->profile(),
+                               /*free_network=*/false);
+    }
+  } else {
+    qs.error = result.status().message();
+  }
+
+  if (metrics != nullptr) {
+    std::string label =
+        qlog != nullptr && !qlog->next_label().empty() ? qlog->next_label()
+                                                       : "adhoc";
+    metrics
+        ->GetCounter("xdb_queries_total",
+                     {{"status", qs.ok ? "ok" : "error"}},
+                     "Top-level queries by final status")
+        ->Increment();
+    metrics
+        ->GetCounter("xdb_query_modelled_seconds_total", {{"query", label}},
+                     "Modelled end-to-end seconds per query label")
+        ->Increment(qs.total_seconds());
+  }
+  if (qlog != nullptr) qlog->Record(std::move(qs));
+}
+
+Result<XdbReport> MediatorSystem::QueryImpl(const std::string& sql) {
   XdbReport report;
   const double wall_start = NowSeconds();
   const int query_id = ++query_counter_;
@@ -156,7 +213,9 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
     sp->Tag("mediator", MediatorKindToString(kind_));
     sp->Tag("sql", sql);
   }
-  const size_t span_begin = spans != nullptr ? spans->size() : 0;
+  // Span *id* window, not an index: under ring-buffer retention ids are
+  // stable while positions shift.
+  const int64_t span_begin = spans != nullptr ? spans->next_id() : 0;
 
   catalog_->ResetCounters();
 
@@ -216,10 +275,8 @@ Result<XdbReport> MediatorSystem::Query(const std::string& sql) {
   report.exec_timing = model.ModelRun(report.trace);
   if (spans != nullptr) {
     // Attach modelled wire seconds to this query's transfer spans.
-    std::vector<Span>& all = spans->mutable_spans();
-    for (size_t i = span_begin; i < all.size(); ++i) {
-      Span& s = all[i];
-      if (s.record_id < 0) continue;
+    for (Span& s : spans->mutable_spans()) {
+      if (s.id < span_begin || s.record_id < 0) continue;
       size_t idx = static_cast<size_t>(s.record_id);
       if (idx < report.trace.transfers.size() &&
           report.trace.transfers[idx].id == s.record_id) {

@@ -59,7 +59,9 @@ class MediatorSystem {
   MediatorSystem(Federation* fed, MediatorKind kind,
                  MediatorOptions options = {});
 
-  /// Runs a federated query through the mediator.
+  /// Runs a federated query through the mediator. Like XdbSystem::Query,
+  /// banks one QueryStats record (system = the mediator kind) when the
+  /// federation has a QueryLog attached.
   Result<XdbReport> Query(const std::string& sql);
 
   const std::string& mediator_name() const { return mediator_name_; }
@@ -67,6 +69,10 @@ class MediatorSystem {
 
  private:
   Status AnnotateMw(PlanNode* node) const;
+
+  Result<XdbReport> QueryImpl(const std::string& sql);
+  void RecordQueryStats(const std::string& sql,
+                        const Result<XdbReport>& result);
 
   Federation* fed_;
   MediatorKind kind_;

@@ -56,6 +56,8 @@ bool Network::IsReachable(const std::string& a, const std::string& b) const {
 }
 
 void Network::set_metrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  metric_by_link_.clear();
   if (registry == nullptr) {
     metric_bytes_ = nullptr;
     metric_messages_ = nullptr;
@@ -77,6 +79,20 @@ void Network::RecordTransfer(const std::string& src, const std::string& dst,
   if (metric_bytes_ != nullptr) {
     metric_bytes_->Increment(bytes);
     metric_messages_->Increment(static_cast<double>(messages));
+    std::string link = src + "->" + dst;
+    auto it = metric_by_link_.find(link);
+    if (it == metric_by_link_.end()) {
+      it = metric_by_link_
+               .emplace(link,
+                        std::make_pair(
+                            metrics_->GetCounter("xdb_network_bytes_total",
+                                                 {{"link", link}}),
+                            metrics_->GetCounter("xdb_network_messages_total",
+                                                 {{"link", link}})))
+               .first;
+    }
+    it->second.first->Increment(bytes);
+    it->second.second->Increment(static_cast<double>(messages));
   }
 }
 

@@ -83,7 +83,8 @@ class Network {
   }
 
   /// Attaches a metrics registry: every RecordTransfer additionally bumps
-  /// process-wide byte/message counters (nullptr detaches; the default).
+  /// the process-wide byte/message counters plus their per-directed-link
+  /// `{link="src->dst"}` labeled cells (nullptr detaches; the default).
   /// Purely additive — the per-link stats() accounting is unchanged.
   void set_metrics(MetricsRegistry* registry);
 
@@ -127,8 +128,12 @@ class Network {
   std::vector<std::string> nodes_;
   LinkProps default_link_;
   const FaultInjector* injector_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   Counter* metric_bytes_ = nullptr;     // xdb_network_bytes_total
   Counter* metric_messages_ = nullptr;  // xdb_network_messages_total
+  // Memoized labeled cells, keyed by "src->dst" (cardinality is bounded by
+  // the topology). Rebuilt from scratch when the registry changes.
+  std::map<std::string, std::pair<Counter*, Counter*>> metric_by_link_;
   mutable std::set<std::string> unknown_nodes_;
   std::map<std::pair<std::string, std::string>, LinkProps> links_;
   std::set<std::pair<std::string, std::string>> blocked_;

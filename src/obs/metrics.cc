@@ -39,75 +39,192 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+MetricLabels MetricsRegistry::Canonicalize(MetricLabels labels) {
+  std::stable_sort(
+      labels.begin(), labels.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Duplicate keys: the later entry wins (matches map-insertion intuition).
+  MetricLabels out;
+  for (auto& kv : labels) {
+    if (!out.empty() && out.back().first == kv.first) {
+      out.back().second = std::move(kv.second);
+    } else {
+      out.push_back(std::move(kv));
+    }
+  }
+  return out;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
+  return GetCounter(name, MetricLabels{}, help);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels,
+                                     const std::string& help) {
+  MetricLabels key = Canonicalize(labels);
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
-  if (!e.counter) {
-    e.counter = std::make_unique<Counter>();
-    if (!help.empty()) e.help = help;
-  }
-  return e.counter.get();
+  Family& f = entries_[name];
+  if (f.help.empty() && !help.empty()) f.help = help;
+  auto& cell = f.counters[std::move(key)];
+  if (!cell) cell = std::make_unique<Counter>();
+  return cell.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  return GetGauge(name, MetricLabels{}, help);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels,
+                                 const std::string& help) {
+  MetricLabels key = Canonicalize(labels);
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
-  if (!e.gauge) {
-    e.gauge = std::make_unique<Gauge>();
-    if (!help.empty()) e.help = help;
-  }
-  return e.gauge.get();
+  Family& f = entries_[name];
+  if (f.help.empty() && !help.empty()) f.help = help;
+  auto& cell = f.gauges[std::move(key)];
+  if (!cell) cell = std::make_unique<Gauge>();
+  return cell.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds,
                                          const std::string& help) {
+  return GetHistogram(name, MetricLabels{}, std::move(upper_bounds), help);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  MetricLabels key = Canonicalize(labels);
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
-  if (!e.histogram) {
-    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
-    if (!help.empty()) e.help = help;
+  Family& f = entries_[name];
+  if (f.help.empty() && !help.empty()) f.help = help;
+  // The family's first registration fixes the bucket layout; later cells
+  // (any label set) share it so `le` buckets line up across the family.
+  if (f.histograms.empty() && f.bounds.empty()) {
+    f.bounds = std::move(upper_bounds);
+    std::sort(f.bounds.begin(), f.bounds.end());
   }
-  return e.histogram.get();
+  auto& cell = f.histograms[std::move(key)];
+  if (!cell) cell = std::make_unique<Histogram>(f.bounds);
+  return cell.get();
 }
 
 namespace {
+
 std::string FormatNumber(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+/// Renders `{k1="v1",k2="v2"}`; empty label sets render as nothing. `extra`
+/// appends one pre-rendered pair (the histogram `le`) after the sorted keys.
+std::string RenderLabels(const MetricLabels& labels,
+                         const std::string& extra = std::string()) {
+  if (labels.empty() && extra.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + MetricsRegistry::EscapeLabelValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
-std::string MetricsRegistry::TextExposition() const {
+std::string MetricsRegistry::EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExposeText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) out += "# HELP " + name + " " + e.help + "\n";
-    if (e.counter) {
+  for (const auto& [name, f] : entries_) {
+    if (!f.help.empty()) {
+      out += "# HELP " + name + " " + EscapeHelp(f.help) + "\n";
+    }
+    if (!f.counters.empty()) {
       out += "# TYPE " + name + " counter\n";
-      out += name + " " + FormatNumber(e.counter->Value()) + "\n";
-    }
-    if (e.gauge) {
-      out += "# TYPE " + name + " gauge\n";
-      out += name + " " + FormatNumber(e.gauge->Value()) + "\n";
-    }
-    if (e.histogram) {
-      const Histogram& h = *e.histogram;
-      out += "# TYPE " + name + " histogram\n";
-      int64_t cumulative = 0;
-      for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
-        cumulative += h.BucketCount(i);
-        out += name + "_bucket{le=\"" + FormatNumber(h.upper_bounds()[i]) +
-               "\"} " + std::to_string(cumulative) + "\n";
+      for (const auto& [labels, c] : f.counters) {
+        out += name + RenderLabels(labels) + " " + FormatNumber(c->Value()) +
+               "\n";
       }
-      cumulative += h.BucketCount(h.upper_bounds().size());
-      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
-             "\n";
-      out += name + "_sum " + FormatNumber(h.Sum()) + "\n";
-      out += name + "_count " + std::to_string(h.Count()) + "\n";
+    }
+    if (!f.gauges.empty()) {
+      out += "# TYPE " + name + " gauge\n";
+      for (const auto& [labels, g] : f.gauges) {
+        out += name + RenderLabels(labels) + " " + FormatNumber(g->Value()) +
+               "\n";
+      }
+    }
+    if (!f.histograms.empty()) {
+      out += "# TYPE " + name + " histogram\n";
+      for (const auto& [labels, cell] : f.histograms) {
+        const Histogram& h = *cell;
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          out += name + "_bucket" +
+                 RenderLabels(labels, "le=\"" +
+                                          FormatNumber(h.upper_bounds()[i]) +
+                                          "\"") +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.BucketCount(h.upper_bounds().size());
+        out += name + "_bucket" + RenderLabels(labels, "le=\"+Inf\"") + " " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum" + RenderLabels(labels) + " " +
+               FormatNumber(h.Sum()) + "\n";
+        out += name + "_count" + RenderLabels(labels) + " " +
+               std::to_string(h.Count()) + "\n";
+      }
     }
   }
   return out;
@@ -115,10 +232,10 @@ std::string MetricsRegistry::TextExposition() const {
 
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, e] : entries_) {
-    if (e.counter) e.counter->Reset();
-    if (e.gauge) e.gauge->Reset();
-    if (e.histogram) e.histogram->Reset();
+  for (auto& [name, f] : entries_) {
+    for (auto& [labels, c] : f.counters) c->Reset();
+    for (auto& [labels, g] : f.gauges) g->Reset();
+    for (auto& [labels, h] : f.histograms) h->Reset();
   }
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xdb {
@@ -73,14 +74,27 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
-/// \brief Process-wide registry of named metrics with text exposition.
+/// \brief One dimension of a metric: `{server="db1"}`, `{link="db1->db3"}`.
 ///
-/// Registration is mutex-guarded and idempotent (GetCounter twice returns
-/// the same object); the returned pointers are stable for the registry's
-/// lifetime, so hot paths register once and increment lock-free thereafter.
-/// Federation-level instrumentation (fetches, useful/wasted bytes, retries,
-/// rollbacks, replans) reports here; `TextExposition()` renders everything
-/// in Prometheus text format for scraping or test assertions.
+/// Label sets are canonicalized (sorted by key, duplicate keys last-wins)
+/// before they identify a cell, so `{a=1,b=2}` and `{b=2,a=1}` name the same
+/// time series. Values may contain any bytes — exposition escapes them.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Process-wide registry of named metric families with text
+/// exposition.
+///
+/// A family is one metric name holding one cell per label set (the empty
+/// label set is the plain process-wide series — the PR-4 metrics). Lookup is
+/// mutex-guarded and idempotent: the same name + canonicalized labels always
+/// returns the same cell, and the returned pointers are stable for the
+/// registry's lifetime, so hot paths resolve once and increment lock-free
+/// thereafter.
+///
+/// `ExposeText()` renders everything in Prometheus text format and is
+/// byte-for-byte deterministic for a given workload: families sort by name,
+/// cells sort by canonicalized label set, label values and HELP text are
+/// escaped per the exposition spec.
 class MetricsRegistry {
  public:
   /// The process-wide default instance.
@@ -88,27 +102,50 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name, const std::string& help = "");
   Gauge* GetGauge(const std::string& name, const std::string& help = "");
-  /// `upper_bounds` is only consulted on first registration.
+  /// `upper_bounds` is only consulted on the family's first registration:
+  /// every labeled cell of one histogram family shares one bucket layout.
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds,
                           const std::string& help = "");
 
-  /// Prometheus-style text exposition (HELP/TYPE + samples, name-sorted).
-  std::string TextExposition() const;
+  /// Labeled variants: one cell per canonicalized label set.
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels,
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels,
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const MetricLabels& labels,
+                          std::vector<double> upper_bounds,
+                          const std::string& help = "");
 
-  /// Zeroes every registered metric (the metrics stay registered).
+  /// Prometheus text exposition: HELP/TYPE per family + one sample line per
+  /// cell, deterministic (name-sorted families, label-sorted cells, escaped
+  /// label values and HELP).
+  std::string ExposeText() const;
+  /// Older name for ExposeText(), kept for callers predating labels.
+  std::string TextExposition() const { return ExposeText(); }
+
+  /// Zeroes every registered cell (families and cells stay registered).
   void ResetAll();
 
+  /// Escapes a label value for exposition: `\` -> `\\`, `"` -> `\"`,
+  /// newline -> `\n` (the Prometheus text-format rules).
+  static std::string EscapeLabelValue(const std::string& v);
+  /// Escapes HELP text: `\` -> `\\`, newline -> `\n`.
+  static std::string EscapeHelp(const std::string& v);
+  /// Sorts by key; on duplicate keys the later entry wins.
+  static MetricLabels Canonicalize(MetricLabels labels);
+
  private:
-  struct Entry {
+  struct Family {
     std::string help;
-    std::unique_ptr<Counter> counter;
-    std::unique_ptr<Gauge> gauge;
-    std::unique_ptr<Histogram> histogram;
+    std::vector<double> bounds;  // histogram families only
+    std::map<MetricLabels, std::unique_ptr<Counter>> counters;
+    std::map<MetricLabels, std::unique_ptr<Gauge>> gauges;
+    std::map<MetricLabels, std::unique_ptr<Histogram>> histograms;
   };
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Family> entries_;
 };
 
 }  // namespace xdb

@@ -1,0 +1,138 @@
+#include "src/obs/query_log.h"
+
+#include <cstdio>
+
+#include "src/common/json_writer.h"
+
+namespace xdb {
+
+void QueryLog::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+void QueryLog::Record(QueryStats stats) {
+  stats.sequence = ++total_recorded_;
+  if (stats.label.empty()) {
+    if (!next_label_.empty()) {
+      stats.label = std::move(next_label_);
+      next_label_.clear();
+    } else {
+      stats.label = "q" + std::to_string(stats.sequence);
+    }
+  }
+  if (!stats.ok) ++total_failed_;
+  lifetime_modelled_seconds_ += stats.total_seconds();
+  lifetime_useful_bytes_ += stats.useful_bytes;
+  lifetime_wasted_bytes_ += stats.wasted_bytes;
+  entries_.push_back(std::move(stats));
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+void QueryLog::Clear() {
+  entries_.clear();
+  next_label_.clear();
+  total_recorded_ = 0;
+  total_failed_ = 0;
+  lifetime_modelled_seconds_ = 0;
+  lifetime_useful_bytes_ = 0;
+  lifetime_wasted_bytes_ = 0;
+}
+
+std::vector<std::string> QueryLog::Summary() const {
+  std::vector<std::string> lines;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "queries: %lld total (%lld failed), %.2fs modelled, "
+                "%.0f B useful / %.0f B wasted transferred; retaining last "
+                "%zu of %lld",
+                static_cast<long long>(total_recorded_),
+                static_cast<long long>(total_failed_),
+                lifetime_modelled_seconds_, lifetime_useful_bytes_,
+                lifetime_wasted_bytes_, entries_.size(),
+                static_cast<long long>(total_recorded_));
+  lines.emplace_back(buf);
+  for (const auto& q : entries_) {
+    std::snprintf(buf, sizeof(buf),
+                  "#%-4lld %-8s %-7s %8.2fs  useful=%.0fB wasted=%.0fB "
+                  "transfers=%d retries=%d replans=%d recovery=%s%s",
+                  static_cast<long long>(q.sequence), q.label.c_str(),
+                  q.system.c_str(), q.total_seconds(), q.useful_bytes,
+                  q.wasted_bytes, q.transfers, q.retries, q.replan_rounds,
+                  q.recovery_action.c_str(), q.ok ? "" : "  FAILED");
+    lines.emplace_back(buf);
+    for (const auto& [server, seconds] : q.per_server_seconds) {
+      std::snprintf(buf, sizeof(buf), "      %-10s %8.2fs compute",
+                    server.c_str(), seconds);
+      lines.emplace_back(buf);
+    }
+    for (const auto& [op, seconds] : q.hot_operators) {
+      std::snprintf(buf, sizeof(buf), "      hot: %-40s %8.3fs",
+                    op.c_str(), seconds);
+      lines.emplace_back(buf);
+    }
+  }
+  return lines;
+}
+
+std::string QueryLog::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("total_recorded", total_recorded_);
+  w.Field("total_failed", total_failed_);
+  w.Field("lifetime_modelled_seconds", lifetime_modelled_seconds_);
+  w.Field("lifetime_useful_bytes", lifetime_useful_bytes_);
+  w.Field("lifetime_wasted_bytes", lifetime_wasted_bytes_);
+  w.Field("capacity", static_cast<int64_t>(capacity_));
+  w.Key("queries");
+  w.BeginArray();
+  for (const auto& q : entries_) {
+    w.BeginObject();
+    w.Field("sequence", q.sequence);
+    w.Field("label", q.label);
+    w.Field("system", q.system);
+    w.Field("sql", q.sql);
+    w.Field("ok", q.ok);
+    if (!q.error.empty()) w.Field("error", q.error);
+    w.Key("phases");
+    w.BeginObject();
+    w.Field("prep", q.prep_seconds);
+    w.Field("lopt", q.lopt_seconds);
+    w.Field("ann", q.ann_seconds);
+    w.Field("exec", q.exec_seconds);
+    w.Field("total", q.total_seconds());
+    w.EndObject();
+    w.Field("useful_bytes", q.useful_bytes);
+    w.Field("wasted_bytes", q.wasted_bytes);
+    w.Field("transfer_rows", q.transfer_rows);
+    w.Field("transfers", q.transfers);
+    w.Field("retries", q.retries);
+    w.Field("replan_rounds", q.replan_rounds);
+    w.Field("recovery_action", q.recovery_action);
+    w.Key("per_server_seconds");
+    w.BeginObject();
+    for (const auto& [server, seconds] : q.per_server_seconds) {
+      w.Field(server, seconds);
+    }
+    w.EndObject();
+    w.Key("hot_operators");
+    w.BeginArray();
+    for (const auto& [op, seconds] : q.hot_operators) {
+      w.BeginObject();
+      w.Field("operator", op);
+      w.Field("modelled_seconds", seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace xdb

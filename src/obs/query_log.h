@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xdb {
+
+/// \brief One compact history record per top-level query: where its modelled
+/// time and bytes went. Banked by XdbSystem::Query / MediatorSystem::Query
+/// when a QueryLog is attached to the federation; sized so a bounded ring of
+/// them summarizes a long session (the paper's §VI per-query statistics,
+/// Trino-style query history).
+struct QueryStats {
+  int64_t sequence = 0;   // assigned by the log, monotonically increasing
+  std::string label;      // "Q5" when hinted, else "q<sequence>"
+  std::string system;     // "xdb" | "garlic" | "presto" | "sclera"
+  std::string sql;
+  bool ok = true;
+  std::string error;  // final status message when !ok
+
+  // Modelled phase seconds (the paper's Figure 15 buckets).
+  double prep_seconds = 0;
+  double lopt_seconds = 0;
+  double ann_seconds = 0;
+  double exec_seconds = 0;
+
+  // Transfer accounting (local-scale bytes; multiply by scale_up for paper
+  // scale, like RunTrace).
+  double useful_bytes = 0;
+  double wasted_bytes = 0;
+  double transfer_rows = 0;
+  int transfers = 0;
+
+  // Recovery trail.
+  int retries = 0;
+  int replan_rounds = 0;
+  std::string recovery_action = "none";
+
+  /// Modelled compute seconds per component DBMS (at the system's
+  /// scale-up) — the per-node breakdown a process-wide total cannot give.
+  std::map<std::string, double> per_server_seconds;
+
+  /// Top operators by modelled seconds ("server: OpLabel" -> seconds),
+  /// filled when OperatorProfilers were attached (EXPLAIN ANALYZE, benches);
+  /// empty otherwise.
+  std::vector<std::pair<std::string, double>> hot_operators;
+
+  double total_seconds() const {
+    return prep_seconds + lopt_seconds + ann_seconds + exec_seconds;
+  }
+};
+
+/// \brief Bounded ring of QueryStats — the query-history side of the
+/// observability layer. Attached to a Federation like the span recorder
+/// (nullptr detaches; recording is observational only). Holds at most
+/// `capacity` records: older queries are evicted, lifetime totals keep
+/// counting, so a 10,000-query session holds O(capacity) memory.
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+  /// Banks one record (assigns `sequence`; fills `label` from the pending
+  /// hint or "q<sequence>"). Evicts the oldest record when over capacity.
+  void Record(QueryStats stats);
+
+  /// Labels the *next* recorded query (e.g. "Q5" from a bench driver); the
+  /// hint is consumed by the next Record. Labels feed the `{query=...}`
+  /// metric dimension, so they should come from a bounded vocabulary
+  /// (DESIGN.md §8 cardinality rules).
+  void set_next_label(std::string label) { next_label_ = std::move(label); }
+  const std::string& next_label() const { return next_label_; }
+
+  const std::deque<QueryStats>& entries() const { return entries_; }
+  /// Lifetime count, including evicted records.
+  int64_t total_recorded() const { return total_recorded_; }
+  int64_t total_failed() const { return total_failed_; }
+
+  void Clear();
+
+  /// Shell-facing summary: lifetime totals, then one line per retained
+  /// query (label, system, modelled seconds, bytes, recovery).
+  std::vector<std::string> Summary() const;
+
+  /// JSON dump of the retained history (machine-readable `\stats` / the
+  /// bench --querylog artifact).
+  std::string ToJson() const;
+
+ private:
+  size_t capacity_;
+  std::deque<QueryStats> entries_;
+  std::string next_label_;
+  int64_t total_recorded_ = 0;
+  int64_t total_failed_ = 0;
+  double lifetime_modelled_seconds_ = 0;
+  double lifetime_useful_bytes_ = 0;
+  double lifetime_wasted_bytes_ = 0;
+};
+
+}  // namespace xdb

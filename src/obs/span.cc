@@ -19,8 +19,27 @@ const std::string* Span::FindTag(const std::string& key) const {
 }
 
 int64_t SpanRecorder::StartSpan(std::string name) {
+  if (stack_.empty()) {
+    // A new root tree: the sampling decision is made once per tree and
+    // inherited by everything nested under it, so kept trees are complete.
+    ++trees_started_;
+    if (trees_started_ <= sample_head_ || sample_head_ < 0) {
+      dropping_tree_ = false;
+    } else if (sample_every_ <= 0) {
+      dropping_tree_ = true;
+    } else {
+      dropping_tree_ = (trees_started_ - sample_head_ - 1) % sample_every_ !=
+                       0;
+    }
+    EnforceCapacity();
+  }
+  if (dropping_tree_) {
+    ++dropped_spans_;
+    stack_.push_back(kDroppedSpan);
+    return kDroppedSpan;
+  }
   Span span;
-  span.id = static_cast<int64_t>(spans_.size());
+  span.id = next_id();
   span.parent_id = stack_.empty() ? -1 : stack_.back();
   span.name = std::move(name);
   spans_.push_back(std::move(span));
@@ -30,21 +49,62 @@ int64_t SpanRecorder::StartSpan(std::string name) {
 
 void SpanRecorder::EndSpan(int64_t id) {
   // Pop until (and including) `id`; unbalanced inner spans close with it.
+  // Dropped spans all share kDroppedSpan, which still matches correctly for
+  // balanced callers (LIFO order pops the innermost first).
   while (!stack_.empty()) {
     int64_t top = stack_.back();
     stack_.pop_back();
     if (top == id) break;
   }
+  if (stack_.empty()) {
+    dropping_tree_ = false;
+    EnforceCapacity();
+  }
 }
 
 Span* SpanRecorder::mutable_span(int64_t id) {
-  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return nullptr;
-  return &spans_[static_cast<size_t>(id)];
+  if (id == kDroppedSpan) {
+    // Writes to sampled-out spans land here so instrumentation sites need no
+    // sampling awareness; reset per hand-out to keep the sink O(1).
+    scratch_ = Span{};
+    return &scratch_;
+  }
+  int64_t index = id - base_id_;
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) {
+    return nullptr;
+  }
+  return &spans_[static_cast<size_t>(index)];
 }
 
 void SpanRecorder::Clear() {
+  base_id_ = next_id();
   spans_.clear();
   stack_.clear();
+  dropping_tree_ = false;
+}
+
+void SpanRecorder::EnforceCapacity() {
+  if (capacity_ == 0) return;
+  while (spans_.size() > capacity_) {
+    // The front root tree runs until the next root span.
+    size_t end = 1;
+    while (end < spans_.size() && spans_[end].parent_id != -1) ++end;
+    if (end == spans_.size()) {
+      // Single tree left (open or just closed): a query larger than the
+      // capacity stays inspectable until the next query begins.
+      return;
+    }
+    // A kept open tree is always the *last* tree, so any earlier tree is
+    // closed; stack ids below the front tree's end would mean the front tree
+    // itself is open (only possible in the single-tree case handled above).
+    if (!stack_.empty() && stack_.front() >= 0 &&
+        stack_.front() < base_id_ + static_cast<int64_t>(end)) {
+      return;
+    }
+    spans_.erase(spans_.begin(), spans_.begin() + static_cast<long>(end));
+    base_id_ += static_cast<int64_t>(end);
+    dropped_spans_ += static_cast<int64_t>(end);
+  }
 }
 
 double SpanRecorder::Layout(
@@ -65,8 +125,10 @@ void SpanRecorder::FinalizeTimeline() {
   std::vector<std::vector<size_t>> children(spans_.size());
   std::vector<size_t> roots;
   for (size_t i = 0; i < spans_.size(); ++i) {
-    int64_t p = spans_[i].parent_id;
+    int64_t p = spans_[i].parent_id < 0 ? -1
+                                        : spans_[i].parent_id - base_id_;
     if (p < 0) {
+      // True roots, plus children whose parent was evicted by retention.
       roots.push_back(i);
     } else {
       children[static_cast<size_t>(p)].push_back(i);

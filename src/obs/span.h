@@ -49,17 +49,35 @@ struct Span {
 /// injector: a null pointer disables every hook (the fault-free discipline —
 /// when detached, instrumented code performs exactly one pointer compare).
 ///
-/// Spans are append-only and identified by index; StartSpan/EndSpan maintain
-/// an open-span stack so nested instrumentation (fetches triggering fetches)
-/// parents correctly without threading ids through every call site.
+/// Spans are append-only with monotonically increasing ids; StartSpan/EndSpan
+/// maintain an open-span stack so nested instrumentation (fetches triggering
+/// fetches) parents correctly without threading ids through every call site.
 /// Recording never advances modelled time by itself: durations are attached
 /// where they are known, and FinalizeTimeline() lays out start/finish so the
 /// tree renders as a timeline (children sequential within their parent,
 /// parents covering their children).
+///
+/// Retention (long-running sessions): by default the recorder grows without
+/// bound — right for one-shot benches that dump everything at exit. Two
+/// knobs bound it:
+///  - set_capacity(n): ring-buffer retention. When the recorder holds more
+///    than `n` spans, whole *closed* root trees (oldest first) are evicted;
+///    ids keep increasing, evicted ids resolve to nullptr. The tree being
+///    recorded is never evicted, so memory is O(capacity + one query).
+///  - SetSampling(head, every): head/tail sampling at root-tree granularity.
+///    The first `head` trees are kept in full; afterwards only every
+///    `every`-th tree is kept, the rest are dropped wholesale at StartSpan
+///    time (their StartSpan returns kDroppedSpan and tag writes land in a
+///    scratch span). Kept trees are recorded bit-identically to an
+///    unsampled recorder.
 class SpanRecorder {
  public:
+  /// Id returned by StartSpan for spans in sampled-out trees. mutable_span
+  /// maps it to a scratch span so call sites need no sampling awareness.
+  static constexpr int64_t kDroppedSpan = -2;
+
   /// Opens a span under the current innermost open span (or as a root) and
-  /// returns its id.
+  /// returns its id (kDroppedSpan when the enclosing tree is sampled out).
   int64_t StartSpan(std::string name);
 
   /// Closes the innermost open span with id `id`. Ids of spans above it on
@@ -69,16 +87,45 @@ class SpanRecorder {
   /// The innermost open span id, or -1.
   int64_t current() const { return stack_.empty() ? -1 : stack_.back(); }
 
-  /// Mutable access for tagging / setting durations. Invalidated by the
-  /// next StartSpan (vector growth) — do not hold across calls.
+  /// Mutable access for tagging / setting durations. Returns nullptr for
+  /// evicted ids; kDroppedSpan resolves to a reusable scratch span.
+  /// Invalidated by the next StartSpan — do not hold across calls.
   Span* mutable_span(int64_t id);
   const std::vector<Span>& spans() const { return spans_; }
-  /// Bulk mutation (attaching modelled transfer durations post-run).
+  /// Bulk mutation (attaching modelled transfer durations post-run). Under
+  /// retention, `spans()[i].id != i` — match on Span::id, not position.
   std::vector<Span>& mutable_spans() { return spans_; }
 
+  /// The id the next StartSpan will allocate. Callers that later want "every
+  /// span recorded since X" capture this and filter on `span.id >= X` (ids
+  /// stay comparable across evictions; indices do not).
+  int64_t next_id() const {
+    return base_id_ + static_cast<int64_t>(spans_.size());
+  }
+
   /// Drops every recorded span (e.g. between queries when exporting one
-  /// query per file).
+  /// query per file). Retention/sampling knobs and id monotonicity persist.
   void Clear();
+
+  // --- retention policy ---
+
+  /// Caps retained spans at `max_spans` (0 — the default — is unbounded).
+  /// Eviction drops whole closed root trees, oldest first.
+  void set_capacity(size_t max_spans) { capacity_ = max_spans; }
+  size_t capacity() const { return capacity_; }
+
+  /// Head/tail sampling over root trees: keep the first `head_trees` in
+  /// full, then keep every `keep_every`-th tree of the tail (1 keeps all —
+  /// the default; 0 drops the whole tail).
+  void SetSampling(int64_t head_trees, int64_t keep_every) {
+    sample_head_ = head_trees;
+    sample_every_ = keep_every;
+  }
+
+  /// Root trees started (kept or dropped) — the sampling denominator.
+  int64_t trees_started() const { return trees_started_; }
+  /// Spans discarded so far (evicted by capacity + dropped by sampling).
+  int64_t dropped_spans() const { return dropped_spans_; }
 
   /// Assigns start/finish: roots and siblings are laid out sequentially,
   /// children start at their parent's start, and each span covers
@@ -92,8 +139,19 @@ class SpanRecorder {
   double Layout(size_t index, double start,
                 const std::vector<std::vector<size_t>>& children);
 
+  /// Evicts whole closed root trees from the front while over capacity.
+  void EnforceCapacity();
+
   std::vector<Span> spans_;
   std::vector<int64_t> stack_;
+  int64_t base_id_ = 0;  // id of spans_[0]; grows as trees are evicted
+  size_t capacity_ = 0;  // 0 = unbounded
+  int64_t sample_head_ = 0;
+  int64_t sample_every_ = 1;
+  int64_t trees_started_ = 0;
+  int64_t dropped_spans_ = 0;
+  bool dropping_tree_ = false;  // current root tree is sampled out
+  Span scratch_;                // sink for writes to dropped spans
 };
 
 /// \brief RAII guard: opens a span on a possibly-null recorder and closes it

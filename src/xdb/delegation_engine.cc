@@ -59,6 +59,7 @@ Status DelegationEngine::Issue(const std::string& server,
       IssueWithRetry(it->second, server, ddl).WithContext("on " + server));
   ddl_log_.emplace_back(server, ddl);
   ++ddl_count_;
+  if (fed_ != nullptr) fed_->CountDdl(server);
   return Status::OK();
 }
 

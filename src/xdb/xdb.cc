@@ -58,9 +58,97 @@ double XdbSystem::Rtt(const std::string& server) const {
 }
 
 Result<XdbReport> XdbSystem::Query(const std::string& sql) {
+  Result<XdbReport> result = QueryImpl(sql);
+  RecordQueryStats(sql, result);
+  return result;
+}
+
+void XdbSystem::RecordQueryStats(const std::string& sql,
+                                 const Result<XdbReport>& result) {
+  QueryLog* qlog = fed_->query_log();
+  MetricsRegistry* metrics = fed_->metrics();
+  if (qlog == nullptr && metrics == nullptr) return;
+
+  QueryStats qs;
+  qs.system = "xdb";
+  qs.sql = sql;
+  qs.ok = result.ok();
+  // The trace of a failed query is the accumulated recovery trail; a
+  // successful one reports its winning round's trace.
+  const RunTrace& trace = result.ok() ? result->trace : last_trace_;
+  qs.useful_bytes = trace.UsefulTransferredBytes();
+  qs.wasted_bytes = trace.WastedTransferredBytes();
+  qs.transfer_rows = trace.TotalTransferredRows();
+  qs.transfers = static_cast<int>(trace.transfers.size());
+  qs.retries = static_cast<int>(trace.retries.size());
+  qs.replan_rounds = trace.replan_rounds;
+  qs.recovery_action = trace.recovery_action;
+  if (result.ok()) {
+    qs.prep_seconds = result->phases.prep;
+    qs.lopt_seconds = result->phases.lopt;
+    qs.ann_seconds = result->phases.ann;
+    qs.exec_seconds = result->phases.exec;
+  } else {
+    qs.error = result.status().message();
+    qs.exec_seconds = trace.wasted_attempt_seconds +
+                      trace.total_backoff_seconds +
+                      trace.injected_delay_seconds;
+  }
+  TimingModel model(fed_, TimingOptions{options_.scale_up});
+  for (const auto& [srv, compute] : trace.per_server) {
+    const DatabaseServer* server = fed_->GetServer(srv);
+    if (server == nullptr) continue;
+    qs.per_server_seconds[srv] =
+        model.ComputeSeconds(compute, server->profile(),
+                             /*free_network=*/false);
+  }
+  // Hot spots are available whenever profilers happen to be attached
+  // (EXPLAIN ANALYZE, benches); plain queries leave this empty.
+  for (const auto& name : fed_->ServerNames()) {
+    const DatabaseServer* server = fed_->GetServer(name);
+    const OperatorProfiler* prof = server->profiler();
+    if (prof == nullptr) continue;
+    for (const auto& rec : prof->records()) {
+      qs.hot_operators.emplace_back(
+          name + ": " + rec.label,
+          OperatorProfiler::ModelledSeconds(rec, server->profile(),
+                                            options_.scale_up));
+    }
+  }
+  std::stable_sort(qs.hot_operators.begin(), qs.hot_operators.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (qs.hot_operators.size() > 3) qs.hot_operators.resize(3);
+
+  if (metrics != nullptr) {
+    // `{query=...}` stays bounded: an explicit hint (bench drivers label
+    // "Q5" etc.) or the single bucket "adhoc" — never raw SQL.
+    std::string label =
+        qlog != nullptr && !qlog->next_label().empty() ? qlog->next_label()
+                                                       : "adhoc";
+    metrics
+        ->GetCounter("xdb_queries_total",
+                     {{"status", qs.ok ? "ok" : "error"}},
+                     "Top-level queries by final status")
+        ->Increment();
+    metrics
+        ->GetCounter("xdb_query_modelled_seconds_total", {{"query", label}},
+                     "Modelled end-to-end seconds per query label")
+        ->Increment(qs.total_seconds());
+  }
+  if (qlog != nullptr) qlog->Record(std::move(qs));
+}
+
+Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
   XdbReport report;
   const double wall_start = NowSeconds();
   const int query_id = ++query_counter_;
+
+  // Reset up front, not at execution start: a query failing in parse or
+  // prepare must not report the previous query's recovery trail (or bank
+  // its bytes into the query log).
+  last_trace_ = RunTrace();
 
   catalog_->ResetCounters();
   for (auto& [name, dc] : connector_ptrs_) dc->ResetCounters();
@@ -132,19 +220,18 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   PlacementConstraints constraints;
   RunTrace accum;  // recovery observed across failed rounds
   Status final_status = Status::OK();
-  last_trace_ = RunTrace();
   const int max_rounds = std::max(0, options_.max_failover_alternates);
   TimingModel model(fed_, TimingOptions{options_.scale_up});
 
   // Once a round's trace is final, give its transfer spans the modelled
   // wire seconds (spans carry the record id; ids restart every round, so
-  // only spans recorded since `begin` are matched against `tr`).
-  auto attach_transfer_seconds = [&](size_t begin, const RunTrace& tr) {
+  // only spans with id >= `begin_id` are matched against `tr`). The window
+  // is a span *id*, not an index: under ring-buffer retention ids are
+  // stable while positions shift.
+  auto attach_transfer_seconds = [&](int64_t begin_id, const RunTrace& tr) {
     if (spans == nullptr) return;
-    std::vector<Span>& all = spans->mutable_spans();
-    for (size_t i = begin; i < all.size(); ++i) {
-      Span& s = all[i];
-      if (s.record_id < 0) continue;
+    for (Span& s : spans->mutable_spans()) {
+      if (s.id < begin_id || s.record_id < 0) continue;
       size_t idx = static_cast<size_t>(s.record_id);
       if (idx < tr.transfers.size() &&
           tr.transfers[idx].id == s.record_id) {
@@ -154,7 +241,8 @@ Result<XdbReport> XdbSystem::Query(const std::string& sql) {
   };
 
   for (int round = 0;; ++round) {
-    const size_t round_span_begin = spans != nullptr ? spans->size() : 0;
+    const int64_t round_span_begin =
+        spans != nullptr ? spans->next_id() : 0;
     SpanGuard round_span(spans, "round " + std::to_string(round));
     PlanPtr round_plan = plan->Clone();
     Annotator annotator(connector_ptrs_, &fed_->network(),

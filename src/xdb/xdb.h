@@ -97,7 +97,11 @@ class XdbSystem {
   /// discovers the Global-as-a-View schema.
   explicit XdbSystem(Federation* fed, XdbOptions options = {});
 
-  /// Runs a cross-database SQL query end to end.
+  /// Runs a cross-database SQL query end to end. When the federation has a
+  /// QueryLog and/or MetricsRegistry attached, one QueryStats record and
+  /// the `{query=...}`/`{status=...}` labeled query counters are banked per
+  /// call — observationally only (results and modelled times are
+  /// bit-identical either way).
   Result<XdbReport> Query(const std::string& sql);
 
   /// EXPLAIN ANALYZE at the federation level: runs the query with a
@@ -120,6 +124,15 @@ class XdbSystem {
 
  private:
   double Rtt(const std::string& server) const;
+
+  /// Query() minus the history/metrics bookkeeping (every early return of
+  /// the pipeline funnels through the public wrapper).
+  Result<XdbReport> QueryImpl(const std::string& sql);
+
+  /// Banks one QueryStats into the federation's QueryLog and bumps the
+  /// labeled query counters. No-op when neither sink is attached.
+  void RecordQueryStats(const std::string& sql,
+                        const Result<XdbReport>& result);
 
   Federation* fed_;
   XdbOptions options_;

@@ -4,7 +4,12 @@
 Checks the exporter schema (src/obs/export.cc + bench/bench_common.h) with
 no third-party dependencies, so CI can gate on it:
 
-  python3 tools/validate_bench_json.py out.json
+  python3 tools/validate_bench_json.py out.json [--metrics metrics.txt]
+
+With --metrics, also validates a Prometheus text exposition written by the
+--metrics bench flag: sample-line syntax (labeled and unlabeled), label
+keys sorted within each sample, histogram bucket monotonicity, and
+histogram `_count` equal to the +Inf bucket.
 
 Exit code 0 when the file matches the schema, 1 with a list of violations
 otherwise. Also enforces the accounting invariants the exporters promise:
@@ -12,7 +17,88 @@ useful + wasted == total bytes, and phase totals summing up.
 """
 
 import json
+import re
 import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>-?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|[0-9.]+e[+-]?\d+))$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(raw):
+    """Returns the label (key, value) pairs, or None on a syntax error."""
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            return None
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    return pairs
+
+
+def validate_metrics_text(path):
+    """Validates a Prometheus exposition file; returns a list of errors."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"not readable: {e}"]
+
+    # family name -> {label-tuple-without-le: cumulative bucket counts}
+    buckets = {}
+    counts = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        labels = parse_labels(m.group("labels") or "")
+        if labels is None:
+            errors.append(f"line {lineno}: bad label syntax: {line!r}")
+            continue
+        # Canonical order: keys sorted, except `le` which the exposition
+        # renders last on histogram bucket samples.
+        keys = [k for k, _ in labels]
+        sortable = [k for k in keys if k != "le"]
+        if sortable != sorted(sortable):
+            errors.append(f"line {lineno}: label keys not sorted: {line!r}")
+        if "le" in keys and keys[-1] != "le":
+            errors.append(f"line {lineno}: le= must be last: {line!r}")
+        name = m.group("name")
+        value = float(m.group("value"))
+        cell = tuple((k, v) for k, v in labels if k != "le")
+        if name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"line {lineno}: _bucket sample without le=")
+                continue
+            buckets.setdefault((name[:-len("_bucket")], cell), []).append(
+                (le, value))
+        elif name.endswith("_count"):
+            counts[(name[:-len("_count")], cell)] = value
+    for (family, cell), series in buckets.items():
+        values = [v for _, v in series]
+        if values != sorted(values):
+            errors.append(f"{family}{dict(cell)}: buckets not cumulative")
+        if series[-1][0] != "+Inf":
+            errors.append(f"{family}{dict(cell)}: last bucket is not +Inf")
+        elif (family, cell) in counts and counts[(family,
+                                                 cell)] != values[-1]:
+            errors.append(
+                f"{family}{dict(cell)}: _count {counts[(family, cell)]} != "
+                f"+Inf bucket {values[-1]}")
+    return errors
 
 PHASE_KEYS = {"prep", "lopt", "ann", "exec", "total"}
 TIMING_KEYS = {"total", "compute_only", "transfer_share"}
@@ -206,25 +292,43 @@ class Validator:
 
 
 def main(argv):
-    if len(argv) != 2:
+    args = list(argv[1:])
+    metrics_path = None
+    if "--metrics" in args:
+        i = args.index("--metrics")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        metrics_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     try:
-        with open(argv[1], encoding="utf-8") as f:
+        with open(args[0], encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"{argv[1]}: not readable as JSON: {e}", file=sys.stderr)
+        print(f"{args[0]}: not readable as JSON: {e}", file=sys.stderr)
         return 1
     v = Validator()
     v.check_file(doc)
     if v.errors:
-        print(f"{argv[1]}: {len(v.errors)} schema violation(s):",
+        print(f"{args[0]}: {len(v.errors)} schema violation(s):",
               file=sys.stderr)
         for err in v.errors:
             print(f"  {err}", file=sys.stderr)
         return 1
     runs = len(doc["runs"])
-    print(f"{argv[1]}: OK ({doc['bench']}, {runs} run(s))")
+    print(f"{args[0]}: OK ({doc['bench']}, {runs} run(s))")
+    if metrics_path is not None:
+        errors = validate_metrics_text(metrics_path)
+        if errors:
+            print(f"{metrics_path}: {len(errors)} violation(s):",
+                  file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+        print(f"{metrics_path}: OK (exposition well-formed)")
     return 0
 
 

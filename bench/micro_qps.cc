@@ -1,0 +1,226 @@
+// Serving microbenchmark (ISSUE 6 tentpole): N closed-loop sessions share
+// one federation through the SessionManager, each looping over the TPC-H
+// evaluation query mix. Reports sustained wall-clock QPS, delegation-plan
+// cache hit rate, and modelled latency percentiles.
+//
+// Two phases:
+//   1. Concurrent serving (the measurement): --sessions threads, each its
+//      own XdbSession, closed loop over the mix for --iters rounds. The
+//      plan cache is pre-warmed with one serial pass so every serving-phase
+//      query hits (the steady state a long-running server converges to).
+//   2. Deterministic JSON pass (the CI watchdog artifact): a *fresh*
+//      federation + system, one serial session, each query run cold (miss)
+//      then warm (hit). Schedule-independent, so phases/bytes are
+//      bit-identical run to run — comparable against the committed
+//      bench/baseline/BENCH_qps.json. The hit run also cross-checks that
+//      the cached-plan result table is bit-identical to the cold-planned
+//      one.
+//
+// Extra flags (besides the standard --json/--trace/--metrics/--querylog):
+//   --sessions N      concurrent sessions (default 64)
+//   --iters K         mix iterations per session (default 4)
+//   --exec-threads T  per-DBMS morsel workers (default 1; wall-clock only)
+//   --cache N         plan-cache capacity (default 64; 0 disables)
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/xdb/session.h"
+
+namespace xdb {
+namespace bench {
+namespace {
+
+struct QpsConfig {
+  int sessions = 64;
+  int iters = 4;
+  int exec_threads = 1;
+  size_t cache_capacity = 64;
+};
+
+QpsConfig g_config;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+double WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RunServingPhase() {
+  const QpsConfig& cfg = g_config;
+  PrintHeader("Concurrent serving: " + std::to_string(cfg.sessions) +
+              " sessions x " + std::to_string(cfg.iters) +
+              " iterations over the TPC-H mix (TD1, SF 10)");
+
+  auto fed = tpch::BuildTpchFederation(LocalSf(kDefaultPaperSf), tpch::TD1());
+  XdbOptions opts;
+  opts.scale_up = kScaleUp;
+  opts.exec_threads = cfg.exec_threads;
+  opts.plan_cache_capacity = cfg.cache_capacity;
+  XdbSystem xdb(fed.get(), opts);
+  SessionManager manager(&xdb);
+
+  const auto& mix = tpch::EvaluationQueries();
+
+  // Pre-warm: one serial pass populates the plan cache (and the lazy
+  // global-catalog metadata), so the serving phase measures steady state.
+  {
+    auto warm = manager.OpenSession();
+    for (const auto& q : mix) {
+      auto r = warm->Query(q.sql, q.id);
+      if (!r.ok()) {
+        std::printf("warmup %s FAILED: %s\n", q.id.c_str(),
+                    r.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  const int64_t warm_hits =
+      xdb.plan_cache() != nullptr ? xdb.plan_cache()->hits() : 0;
+  const int64_t warm_misses =
+      xdb.plan_cache() != nullptr ? xdb.plan_cache()->misses() : 0;
+
+  std::vector<std::unique_ptr<XdbSession>> sessions;
+  for (int i = 0; i < cfg.sessions; ++i) {
+    sessions.push_back(manager.OpenSession());
+  }
+
+  const double t0 = WallNow();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions.size());
+  for (auto& session : sessions) {
+    threads.emplace_back([&cfg, &mix, s = session.get()] {
+      for (int it = 0; it < cfg.iters; ++it) {
+        for (const auto& q : mix) {
+          (void)s->Query(q.sql, q.id);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = WallNow() - t0;
+
+  int64_t queries = 0;
+  int64_t failures = 0;
+  std::vector<double> latencies;
+  for (const auto& s : sessions) {
+    queries += s->queries_run();
+    failures += s->failures();
+    latencies.insert(latencies.end(), s->modelled_latencies().begin(),
+                     s->modelled_latencies().end());
+  }
+
+  std::printf("sessions            %d\n", cfg.sessions);
+  std::printf("exec_threads        %d per DBMS\n", cfg.exec_threads);
+  std::printf("queries             %lld (%lld failed)\n",
+              static_cast<long long>(queries),
+              static_cast<long long>(failures));
+  std::printf("wall                %.2fs\n", wall);
+  std::printf("sustained QPS       %.1f\n",
+              wall > 0 ? static_cast<double>(queries) / wall : 0.0);
+  if (xdb.plan_cache() != nullptr) {
+    const int64_t hits = xdb.plan_cache()->hits() - warm_hits;
+    const int64_t misses = xdb.plan_cache()->misses() - warm_misses;
+    const int64_t lookups = hits + misses;
+    std::printf("plan cache          %lld/%lld hits (%.1f%%), %lld resident\n",
+                static_cast<long long>(hits),
+                static_cast<long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<long long>(xdb.plan_cache()->size()));
+  }
+  std::printf("modelled latency    p50=%.2fs p99=%.2fs (n=%zu)\n",
+              Percentile(latencies, 0.50), Percentile(latencies, 0.99),
+              latencies.size());
+  std::printf(
+      "\nReading: every serving-phase query should hit the warm plan cache "
+      "(hit rate\n~100%%); QPS scales with --exec-threads and flattens at "
+      "the admission limit.\nModelled latencies are schedule-independent — "
+      "p50/p99 vary only with the mix.\n");
+}
+
+void RunDeterministicJsonPass() {
+  PrintHeader("Deterministic cold/warm pass (CI watchdog artifact)");
+
+  auto fed = tpch::BuildTpchFederation(LocalSf(kDefaultPaperSf), tpch::TD1());
+  XdbOptions opts;
+  opts.scale_up = kScaleUp;
+  opts.exec_threads = g_config.exec_threads;
+  opts.plan_cache_capacity =
+      g_config.cache_capacity > 0 ? g_config.cache_capacity : 64;
+  XdbSystem xdb(fed.get(), opts);
+
+  JsonReport& json = JsonReport::Instance();
+  fed->SetSpanRecorder(json.spans());
+  fed->SetMetricsRegistry(json.metrics());
+  fed->SetQueryLog(json.query_log());
+
+  std::printf("%-6s %14s %14s %10s %s\n", "query", "cold total[s]",
+              "warm total[s]", "hit", "results");
+  for (const auto& q : tpch::EvaluationQueries()) {
+    QueryContext ctx;
+    ctx.label = q.id;
+    auto cold = xdb.Query(q.sql, ctx);
+    if (!cold.ok()) {
+      std::printf("%-6s FAILED: %s\n", q.id.c_str(),
+                  cold.status().ToString().c_str());
+      continue;
+    }
+    json.Record("XDB", q.sql, *cold);
+    auto warm = xdb.Query(q.sql, ctx);
+    if (!warm.ok()) {
+      std::printf("%-6s warm FAILED: %s\n", q.id.c_str(),
+                  warm.status().ToString().c_str());
+      continue;
+    }
+    json.Record("XDB", q.sql, *warm);
+    const bool identical = cold->result->ToDisplayString(1000) ==
+                           warm->result->ToDisplayString(1000);
+    std::printf("%-6s %14.2f %14.2f %10s %s\n", q.id.c_str(),
+                cold->total_seconds(), warm->total_seconds(),
+                warm->plan_cache_hit ? "yes" : "NO",
+                identical ? "identical" : "MISMATCH");
+  }
+  std::printf(
+      "\nReading: warm total = cold total minus prep/lopt/ann (the hit "
+      "path skips\nparse, metadata, optimization, and consultation); "
+      "results must be identical.\n");
+}
+
+void Run() {
+  RunServingPhase();
+  RunDeterministicJsonPass();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xdb
+
+int main(int argc, char** argv) {
+  xdb::bench::JsonReport::Instance().Init(argc, argv, "micro_qps");
+  for (int i = 1; i + 1 < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sessions") xdb::bench::g_config.sessions = std::atoi(argv[i + 1]);
+    if (arg == "--iters") xdb::bench::g_config.iters = std::atoi(argv[i + 1]);
+    if (arg == "--exec-threads") {
+      xdb::bench::g_config.exec_threads = std::atoi(argv[i + 1]);
+    }
+    if (arg == "--cache") {
+      xdb::bench::g_config.cache_capacity =
+          static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+  }
+  xdb::bench::Run();
+  xdb::bench::JsonReport::Instance().Flush();
+  return 0;
+}

@@ -9,6 +9,7 @@
 //                   per-operator tree with modelled seconds)
 //   \trace <file>   dump the last query's span timeline as Chrome trace JSON
 //   \stats          query history: per-query modelled time, bytes, recovery
+//   \stats <label>  per-label drill-down: aggregates, runs, drift events
 //   \metrics        Prometheus exposition of every labeled counter
 //   \quit
 //
@@ -82,6 +83,13 @@ int main() {
     }
     if (line == "\\stats") {
       for (const auto& l : history.Summary()) std::printf("%s\n", l.c_str());
+      continue;
+    }
+    if (StartsWith(line, "\\stats ")) {
+      std::string label = Trim(line.substr(7));
+      for (const auto& l : history.LabelDrilldown(label)) {
+        std::printf("%s\n", l.c_str());
+      }
       continue;
     }
     if (line == "\\metrics") {

@@ -2,8 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace xdb {
+
+namespace {
+// The calling thread's query tag; 0 means untagged (single-query paths and
+// background work). Pool workers set it to the tag of the task they run.
+thread_local uint64_t t_query_tag = 0;
+}  // namespace
+
+uint64_t CurrentQueryTag() { return t_query_tag; }
+
+ScopedQueryTag::ScopedQueryTag(uint64_t tag) : saved_(t_query_tag) {
+  t_query_tag = tag;
+}
+
+ScopedQueryTag::~ScopedQueryTag() { t_query_tag = saved_; }
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
@@ -23,9 +38,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  Submit(t_query_tag, std::move(fn));
+}
+
+void ThreadPool::Submit(uint64_t tag, std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    TagQueue& q = queues_[tag];
+    q.tasks.push_back(std::move(fn));
+    if (!q.in_rotation) {
+      q.in_rotation = true;
+      rr_.push_back(tag);
+    }
+    ++pending_;
   }
   cv_.notify_one();
 }
@@ -33,14 +58,30 @@ void ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
+    uint64_t tag = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown and drained
-      fn = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
+      if (pending_ == 0) return;  // shutdown and drained
+      // Fair pick: one task from the front tag, then rotate the tag to the
+      // back so every active query advances before any repeats.
+      tag = rr_.front();
+      rr_.pop_front();
+      auto it = queues_.find(tag);
+      TagQueue& q = it->second;
+      fn = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      --pending_;
+      if (q.tasks.empty()) {
+        queues_.erase(it);
+      } else {
+        rr_.push_back(tag);
+      }
     }
+    uint64_t saved = t_query_tag;
+    t_query_tag = tag;
     fn();
+    t_query_tag = saved;
   }
 }
 
@@ -106,7 +147,9 @@ void ParallelFor(int max_workers, size_t num_items, size_t morsel_rows,
 
   const int helpers = workers - 1;  // the caller is worker 0
   for (int i = 0; i < helpers; ++i) {
-    pool->Submit([&work, &done_mu, &done_cv, done]() {
+    // Helpers carry the caller's query tag so the fair scheduler attributes
+    // this loop's morsels to the query that spawned them.
+    pool->Submit(t_query_tag, [&work, &done_mu, &done_cv, done]() {
       work();
       // Notify under the lock: the waiter may destroy the condvar the
       // moment the predicate holds, so the notify must not race past it.

@@ -2,8 +2,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,6 +19,12 @@ namespace xdb {
 /// more than most morsels, and a shared pool bounds total oversubscription
 /// when several DatabaseServers execute in one process (the simulated
 /// federation).
+///
+/// Tasks carry a *query tag* (see CurrentQueryTag); the pool keeps one FIFO
+/// per tag and drains tags round-robin, so under concurrent serving one
+/// large query's morsel backlog cannot starve a short query's morsels.
+/// With a single active tag the pool degenerates to the original one-FIFO
+/// behaviour.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -27,20 +35,52 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `fn` for execution on some worker thread.
+  /// Enqueues `fn` for execution on some worker thread, tagged with the
+  /// calling thread's current query tag.
   void Submit(std::function<void()> fn);
+
+  /// Enqueues `fn` under an explicit query tag. Workers inherit the tag for
+  /// the duration of `fn`, so nested submissions stay with their query.
+  void Submit(uint64_t tag, std::function<void()> fn);
 
   /// Process-wide pool sized to the hardware, created on first use.
   static ThreadPool* Shared();
 
  private:
+  struct TagQueue {
+    std::deque<std::function<void()>> tasks;
+    bool in_rotation = false;  // tag currently queued in rr_
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  // Per-tag FIFOs plus the round-robin rotation of tags with pending work.
+  // A tag's queue is erased once drained, so the map stays bounded by the
+  // number of *active* queries, not by the query-id space.
+  std::map<uint64_t, TagQueue> queues_;
+  std::deque<uint64_t> rr_;
+  size_t pending_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// \brief The query tag of the calling thread (0 = untagged/background).
+/// Pool workers inherit the tag of the task they execute.
+uint64_t CurrentQueryTag();
+
+/// \brief RAII scope setting the calling thread's query tag — used by the
+/// serving layer to attribute all morsels spawned while running one query.
+class ScopedQueryTag {
+ public:
+  explicit ScopedQueryTag(uint64_t tag);
+  ~ScopedQueryTag();
+  ScopedQueryTag(const ScopedQueryTag&) = delete;
+  ScopedQueryTag& operator=(const ScopedQueryTag&) = delete;
+
+ private:
+  uint64_t saved_;
 };
 
 /// \brief Number of execution threads meant by "use the hardware": at least

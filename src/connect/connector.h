@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "src/connect/dialect.h"
@@ -55,16 +56,20 @@ class DbmsConnector {
   /// `cost_calibration`.
   double ProbeCost(const PlanNode& fragment) {
     RoundTrip();
-    ++probe_count_;
+    probe_count_.fetch_add(1, std::memory_order_relaxed);
     return server_->ModeledPlanCost(fragment) * cost_calibration_;
   }
 
-  int probe_count() const { return probe_count_; }
-  void ResetCounters() {
-    probe_count_ = 0;
-    roundtrip_count_ = 0;
+  int probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
   }
-  int roundtrip_count() const { return roundtrip_count_; }
+  void ResetCounters() {
+    probe_count_.store(0, std::memory_order_relaxed);
+    roundtrip_count_.store(0, std::memory_order_relaxed);
+  }
+  int roundtrip_count() const {
+    return roundtrip_count_.load(std::memory_order_relaxed);
+  }
 
   /// Aligns this DBMS's cost units with the federation-wide unit (paper
   /// footnote 6: a simple calibration approach across engines).
@@ -86,7 +91,7 @@ class DbmsConnector {
 
  private:
   void RoundTrip() {
-    ++roundtrip_count_;
+    roundtrip_count_.fetch_add(1, std::memory_order_relaxed);
     fed_->RecordControlMessage(middleware_node_, server_->name());
     fed_->RecordControlMessage(server_->name(), middleware_node_);
   }
@@ -96,8 +101,8 @@ class DbmsConnector {
   Federation* fed_;
   std::string middleware_node_;
   double cost_calibration_ = 1.0;
-  int probe_count_ = 0;
-  int roundtrip_count_ = 0;
+  std::atomic<int> probe_count_{0};
+  std::atomic<int> roundtrip_count_{0};
 };
 
 }  // namespace xdb

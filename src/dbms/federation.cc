@@ -4,8 +4,27 @@
 
 namespace xdb {
 
+namespace {
+// Per-thread span-recorder override; concurrent sessions record their own
+// timelines (a SpanRecorder's open-span stack is single-threaded).
+thread_local SpanRecorder* t_span_override = nullptr;
+}  // namespace
+
 Federation::Federation() = default;
 Federation::~Federation() = default;
+
+Federation::RunState& Federation::ThreadRun() {
+  static thread_local RunState t_run;
+  return t_run;
+}
+
+SpanRecorder* Federation::span_recorder() const {
+  return t_span_override != nullptr ? t_span_override : spans_;
+}
+
+void Federation::SetThreadSpanRecorder(SpanRecorder* recorder) {
+  t_span_override = recorder;
+}
 
 DatabaseServer* Federation::AddServer(const std::string& name,
                                       EngineProfile profile) {
@@ -29,39 +48,33 @@ std::vector<std::string> Federation::ServerNames() const {
 }
 
 void Federation::BeginRun(const std::string& root_server) {
-  run_ = RunTrace{};
-  run_.root_server = root_server;
-  stack_.clear();
-  next_record_id_ = 0;
-  control_messages_ = 0;
-  run_active_ = true;
+  RunState& rs = ThreadRun();
+  rs.run = RunTrace{};
+  rs.run.root_server = root_server;
+  rs.stack.clear();
+  rs.next_record_id = 0;
+  rs.control_messages = 0;
+  rs.owner = this;
+  rs.active = true;
 }
 
 RunTrace Federation::FinishRun() {
-  run_active_ = false;
-  run_.per_server[run_.root_server].Add(run_.root_compute);
+  RunState& rs = ThreadRun();
+  rs.active = false;
+  rs.owner = nullptr;
+  rs.run.per_server[rs.run.root_server].Add(rs.run.root_compute);
   if (metrics_ != nullptr) {
     // Useful/wasted split is only final once the run closed (a transfer can
     // be marked failed after its PopFetch), so bytes flush here — to the
     // process-wide totals and, per transfer, to the producing server's and
     // the link's labeled series.
-    m_.bytes_useful->Increment(run_.UsefulTransferredBytes());
-    m_.bytes_wasted->Increment(run_.WastedTransferredBytes());
-    m_.backoff_seconds->Increment(run_.total_backoff_seconds);
-    m_.injected_delay_seconds->Increment(run_.injected_delay_seconds);
-    for (const auto& t : run_.transfers) {
+    m_.bytes_useful->Increment(rs.run.UsefulTransferredBytes());
+    m_.bytes_wasted->Increment(rs.run.WastedTransferredBytes());
+    m_.backoff_seconds->Increment(rs.run.total_backoff_seconds);
+    m_.injected_delay_seconds->Increment(rs.run.injected_delay_seconds);
+    for (const auto& t : rs.run.transfers) {
       m_.transfer_bytes->Observe(t.bytes);
-      const std::string link = t.src + "->" + t.dst;
-      auto it = m_.transfer_bytes_by_link.find(link);
-      if (it == m_.transfer_bytes_by_link.end()) {
-        it = m_.transfer_bytes_by_link
-                 .emplace(link,
-                          metrics_->GetHistogram(
-                              "xdb_federation_transfer_bytes",
-                              {{"link", link}}, {}))
-                 .first;
-      }
-      it->second->Observe(t.bytes);
+      LinkHistogram(t.src + "->" + t.dst)->Observe(t.bytes);
       if (t.failed) {
         ServerCell(&m_.wasted_by_server, "xdb_federation_wasted_bytes_total",
                    t.src)
@@ -79,12 +92,19 @@ RunTrace Federation::FinishRun() {
       }
     }
   }
-  return std::move(run_);
+  return std::move(rs.run);
+}
+
+bool Federation::run_active() const { return ActiveHere(ThreadRun()); }
+
+int Federation::control_messages() const {
+  return ThreadRun().control_messages;
 }
 
 Counter* Federation::ServerCell(std::map<std::string, Counter*>* cache,
                                 const char* name,
                                 const std::string& server) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   auto it = cache->find(server);
   if (it == cache->end()) {
     it = cache->emplace(server,
@@ -98,6 +118,7 @@ Counter* Federation::LinkCell(std::map<std::string, Counter*>* cache,
                               const char* name, const std::string& src,
                               const std::string& dst) {
   std::string link = src + "->" + dst;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   auto it = cache->find(link);
   if (it == cache->end()) {
     it = cache->emplace(link, metrics_->GetCounter(name, {{"link", link}}))
@@ -106,29 +127,45 @@ Counter* Federation::LinkCell(std::map<std::string, Counter*>* cache,
   return it->second;
 }
 
+Histogram* Federation::LinkHistogram(const std::string& link) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  auto it = m_.transfer_bytes_by_link.find(link);
+  if (it == m_.transfer_bytes_by_link.end()) {
+    it = m_.transfer_bytes_by_link
+             .emplace(link, metrics_->GetHistogram(
+                                "xdb_federation_transfer_bytes",
+                                {{"link", link}}, {}))
+             .first;
+  }
+  return it->second;
+}
+
 ComputeTrace* Federation::CurrentTrace() {
-  if (!run_active_) return &scratch_;
-  if (!stack_.empty()) return &stack_.back().trace;
-  return &run_.root_compute;
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) return &rs.scratch;
+  if (!rs.stack.empty()) return &rs.stack.back().trace;
+  return &rs.run.root_compute;
 }
 
 int Federation::PushFetch(const std::string& src, const std::string& dst,
                           const std::string& relation) {
-  if (!run_active_) {
-    stack_.push_back({-1, -1, ComputeTrace{}});
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) {
+    rs.stack.push_back({-1, -1, ComputeTrace{}});
     return -1;
   }
   TransferRecord rec;
-  rec.id = next_record_id_++;
-  rec.parent_id = stack_.empty() ? -1 : stack_.back().record_id;
+  rec.id = rs.next_record_id++;
+  rec.parent_id = rs.stack.empty() ? -1 : rs.stack.back().record_id;
   rec.src = src;
   rec.dst = dst;
   rec.relation = relation;
-  run_.transfers.push_back(rec);
+  rs.run.transfers.push_back(rec);
   int64_t span_id = -1;
-  if (spans_ != nullptr) {
-    span_id = spans_->StartSpan("fetch " + relation);
-    Span* sp = spans_->mutable_span(span_id);
+  SpanRecorder* spans = span_recorder();
+  if (spans != nullptr) {
+    span_id = spans->StartSpan("fetch " + relation);
+    Span* sp = spans->mutable_span(span_id);
     sp->record_id = rec.id;
     sp->Tag("src", src);
     sp->Tag("dst", dst);
@@ -139,39 +176,43 @@ int Federation::PushFetch(const std::string& src, const std::string& dst,
     ServerCell(&m_.fetches_by_server, "xdb_federation_fetches_total", src)
         ->Increment();
   }
-  stack_.push_back({rec.id, span_id, ComputeTrace{}});
+  rs.stack.push_back({rec.id, span_id, ComputeTrace{}});
   return rec.id;
 }
 
 void Federation::PopFetch(int id, double rows, double bytes,
                           uint64_t messages, bool materialized) {
-  Frame frame = std::move(stack_.back());
-  stack_.pop_back();
+  RunState& rs = ThreadRun();
+  Frame frame = std::move(rs.stack.back());
+  rs.stack.pop_back();
   // span_id == -1 means no span was opened (no recorder at PushFetch);
   // kDroppedSpan (sampled-out tree) must still be ended to keep the
   // recorder's open-span stack balanced.
-  if (spans_ != nullptr && frame.span_id != -1) {
-    Span* sp = spans_->mutable_span(frame.span_id);
+  SpanRecorder* spans = span_recorder();
+  if (spans != nullptr && frame.span_id != -1) {
+    Span* sp = spans->mutable_span(frame.span_id);
     sp->Tag("rows", rows);
     sp->Tag("bytes", bytes);
     sp->Tag("messages", static_cast<int64_t>(messages));
     if (materialized) sp->Tag("materialized", std::string("true"));
-    spans_->EndSpan(frame.span_id);
+    spans->EndSpan(frame.span_id);
   }
   if (metrics_ != nullptr) m_.fetch_rows->Increment(rows);
-  if (!run_active_ || id < 0) return;
+  if (!ActiveHere(rs) || id < 0) return;
   // Records are appended in id order (id == index within the run), so the
   // lookup is O(1) — the previous linear scan made deeply-fetching runs
   // quadratic in their transfer count.
   size_t idx = static_cast<size_t>(id);
-  if (idx >= run_.transfers.size() || run_.transfers[idx].id != id) return;
-  TransferRecord& rec = run_.transfers[idx];
+  if (idx >= rs.run.transfers.size() || rs.run.transfers[idx].id != id) {
+    return;
+  }
+  TransferRecord& rec = rs.run.transfers[idx];
   rec.rows = rows;
   rec.bytes = bytes;
   rec.messages = messages;
   rec.materialized = materialized;
   rec.producer_compute = frame.trace;
-  run_.per_server[rec.src].Add(frame.trace);
+  rs.run.per_server[rec.src].Add(frame.trace);
   if (metrics_ != nullptr) {
     ServerCell(&m_.fetch_rows_by_server, "xdb_federation_fetch_rows_total",
                rec.src)
@@ -184,7 +225,8 @@ Status Federation::InjectFault(const std::string& server, FaultOp op,
   if (injector_ == nullptr) return Status::OK();
   Status st = injector_->OnOperation(server, op, peer);
   double delay = injector_->TakeInjectedDelay();
-  if (run_active_ && delay > 0) run_.injected_delay_seconds += delay;
+  RunState& rs = ThreadRun();
+  if (ActiveHere(rs) && delay > 0) rs.run.injected_delay_seconds += delay;
   if (!st.ok() && metrics_ != nullptr) {
     m_.faults_injected->Increment();
     ServerCell(&m_.faults_by_server, "xdb_federation_faults_injected_total",
@@ -195,15 +237,16 @@ Status Federation::InjectFault(const std::string& server, FaultOp op,
 }
 
 void Federation::RecordRetry(RetryEvent event) {
-  if (spans_ != nullptr && (event.attempts > 1 || !event.succeeded)) {
-    int64_t id = spans_->StartSpan("retry " + event.op);
-    Span* sp = spans_->mutable_span(id);
+  SpanRecorder* spans = span_recorder();
+  if (spans != nullptr && (event.attempts > 1 || !event.succeeded)) {
+    int64_t id = spans->StartSpan("retry " + event.op);
+    Span* sp = spans->mutable_span(id);
     sp->duration_seconds = event.backoff_seconds;
     sp->Tag("server", event.server);
     sp->Tag("attempts", static_cast<int64_t>(event.attempts));
     sp->Tag("succeeded", std::string(event.succeeded ? "true" : "false"));
     if (!event.error.empty()) sp->Tag("error", event.error);
-    spans_->EndSpan(id);
+    spans->EndSpan(id);
   }
   if (metrics_ != nullptr && event.attempts > 1) {
     m_.retries->Increment(event.attempts - 1);
@@ -211,10 +254,11 @@ void Federation::RecordRetry(RetryEvent event) {
                event.server)
         ->Increment(event.attempts - 1);
   }
-  if (!run_active_) return;
-  run_.total_backoff_seconds += event.backoff_seconds;
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) return;
+  rs.run.total_backoff_seconds += event.backoff_seconds;
   if (event.attempts > 1 && event.succeeded) NoteRecovery("retried");
-  run_.retries.push_back(std::move(event));
+  rs.run.retries.push_back(std::move(event));
 }
 
 namespace {
@@ -231,26 +275,32 @@ void Federation::NoteRecovery(const std::string& action) {
   if (metrics_ != nullptr && action == "rolled-back") {
     m_.rollbacks->Increment();
   }
-  if (!run_active_) return;
-  if (RecoveryRank(action) > RecoveryRank(run_.recovery_action)) {
-    run_.recovery_action = action;
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) return;
+  if (RecoveryRank(action) > RecoveryRank(rs.run.recovery_action)) {
+    rs.run.recovery_action = action;
   }
 }
 
 void Federation::MarkTransferFailed(int id) {
-  if (!run_active_ || id < 0) return;
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs) || id < 0) return;
   size_t idx = static_cast<size_t>(id);
-  if (idx >= run_.transfers.size() || run_.transfers[idx].id != id) return;
-  run_.transfers[idx].failed = true;
+  if (idx >= rs.run.transfers.size() || rs.run.transfers[idx].id != id) {
+    return;
+  }
+  rs.run.transfers[idx].failed = true;
 }
 
 void Federation::RecordControlMessage(const std::string& a,
                                       const std::string& b, double bytes) {
   network_.RecordTransfer(a, b, bytes, 1);
-  if (run_active_) ++control_messages_;
+  RunState& rs = ThreadRun();
+  if (ActiveHere(rs)) ++rs.control_messages;
 }
 
 void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   metrics_ = registry;
   network_.set_metrics(registry);
   // Drop every cached handle (including the lazily-built labeled cells):

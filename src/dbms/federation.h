@@ -3,6 +3,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@ class DatabaseServer;
 /// it maintains a stack of compute-trace frames so that each inter-DBMS fetch
 /// is attributed to its producing server and nests correctly under the fetch
 /// that triggered it (RunTrace's transfer tree).
+///
+/// Concurrency: run-recording state is *thread-local* — each serving thread
+/// records its own query's run independently, so concurrent sessions sharing
+/// one federation never interleave their traces (BeginRun/FinishRun must be
+/// called on the thread that executes the query, which the single-threaded
+/// query systems already guarantee). Topology mutation (AddServer/SetNetwork)
+/// and observability attachment (SetSpanRecorder/SetMetricsRegistry/...) are
+/// setup-time only; the lazily-memoized labeled metric cells are mutex-
+/// guarded so concurrent runs may flush them safely.
 class Federation {
  public:
   Federation();
@@ -59,7 +69,16 @@ class Federation {
   /// and per retry. Recording is observational only: modelled seconds,
   /// transfer bytes, and results are bit-identical with and without it.
   void SetSpanRecorder(SpanRecorder* recorder) { spans_ = recorder; }
-  SpanRecorder* span_recorder() const { return spans_; }
+
+  /// The recorder the *calling thread* should use: the thread override when
+  /// one is set (concurrent sessions each record their own timeline — a
+  /// single SpanRecorder's open-span stack cannot be shared across threads),
+  /// otherwise the federation-wide recorder.
+  SpanRecorder* span_recorder() const;
+
+  /// Sets (nullptr clears) the calling thread's span-recorder override.
+  /// Scoped by the serving layer around each query it runs.
+  static void SetThreadSpanRecorder(SpanRecorder* recorder);
 
   /// Attaches a metrics registry (nullptr detaches — the default; pass
   /// &MetricsRegistry::Global() for process-wide exposition). Federation
@@ -118,15 +137,17 @@ class Federation {
   /// Marks a closed transfer record as failed (link dropped mid-transfer).
   void MarkTransferFailed(int id);
 
-  // --- run recording ---
+  // --- run recording (thread-local: one active run per serving thread) ---
 
-  /// Starts recording a top-level query run rooted at `root_server`.
+  /// Starts recording a top-level query run rooted at `root_server` on the
+  /// calling thread.
   void BeginRun(const std::string& root_server);
 
-  /// Ends recording and returns everything observed.
+  /// Ends recording and returns everything observed on the calling thread.
   RunTrace FinishRun();
 
-  bool run_active() const { return run_active_; }
+  /// Whether the calling thread has an active run on this federation.
+  bool run_active() const;
 
   /// The compute-trace frame rows should currently be attributed to.
   ComputeTrace* CurrentTrace();
@@ -145,8 +166,9 @@ class Federation {
   void RecordControlMessage(const std::string& a, const std::string& b,
                             double bytes = 256);
 
-  /// Count of control messages in the active run (prep/delegation costing).
-  int control_messages() const { return control_messages_; }
+  /// Count of control messages in the calling thread's active run
+  /// (prep/delegation costing).
+  int control_messages() const;
 
  private:
   struct Frame {
@@ -155,10 +177,32 @@ class Federation {
     ComputeTrace trace;
   };
 
+  /// Per-thread run-recording state. One serving thread drives one query at
+  /// a time, so a thread_local instance (keyed by `owner`) replaces the
+  /// former member state without changing single-threaded behaviour.
+  struct RunState {
+    const Federation* owner = nullptr;
+    bool active = false;
+    RunTrace run;
+    // Deque, not vector: CurrentTrace() hands out pointers to the top frame
+    // that must survive nested PushFetch growth (vector reallocation would
+    // dangle them).
+    std::deque<Frame> stack;
+    ComputeTrace scratch;  // sink when no run is active
+    int next_record_id = 0;
+    int control_messages = 0;
+  };
+  static RunState& ThreadRun();
+  bool ActiveHere(const RunState& rs) const {
+    return rs.active && rs.owner == this;
+  }
+
   /// Cached metric handles (resolved once at SetMetricsRegistry; hot paths
   /// then increment lock-free). The labeled per-server / per-link cells are
   /// resolved lazily on first use and memoized here — label cardinality is
-  /// bounded by the topology, so the caches are small and stable.
+  /// bounded by the topology, so the caches are small and stable. The maps
+  /// are guarded by metrics_mu_ (concurrent runs resolve cells in parallel);
+  /// the cells themselves are atomic.
   struct FedMetrics {
     Counter* fetches = nullptr;
     Counter* fetch_rows = nullptr;
@@ -191,6 +235,8 @@ class Federation {
   /// Memoized `{link="src->dst"}` cell of counter family `name`.
   Counter* LinkCell(std::map<std::string, Counter*>* cache, const char* name,
                     const std::string& src, const std::string& dst);
+  /// Memoized `{link=...}` cell of the transfer-bytes histogram.
+  Histogram* LinkHistogram(const std::string& link);
 
   std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
   Network network_;
@@ -199,17 +245,8 @@ class Federation {
   MetricsRegistry* metrics_ = nullptr;
   QueryLog* query_log_ = nullptr;
   FedMetrics m_;
+  mutable std::mutex metrics_mu_;  // guards m_'s memoized label-cell maps
   RetryPolicy retry_policy_;
-
-  bool run_active_ = false;
-  RunTrace run_;
-  // Deque, not vector: CurrentTrace() hands out pointers to the top frame
-  // that must survive nested PushFetch growth (vector reallocation would
-  // dangle them).
-  std::deque<Frame> stack_;
-  ComputeTrace scratch_;  // sink when no run is active
-  int next_record_id_ = 0;
-  int control_messages_ = 0;
 };
 
 }  // namespace xdb

@@ -21,7 +21,30 @@ constexpr double kLinkDropFraction = 0.5;
 uint64_t MessagesFor(double rows) {
   return static_cast<uint64_t>(std::ceil(rows / kRowsPerMessage)) + 1;
 }
+
+// The server whose CREATE TABLE AS the calling thread is currently
+// materializing (nullptr otherwise). Thread-local so concurrent sessions on
+// one server don't mislabel each other's fetches as explicit movement.
+thread_local const DatabaseServer* t_materializing = nullptr;
 }  // namespace
+
+bool DatabaseServer::MaterializingHere() const {
+  return t_materializing == this;
+}
+
+DatabaseServer::CatalogEntry* DatabaseServer::FindEntry(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = catalog_.find(key);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
+
+const DatabaseServer::CatalogEntry* DatabaseServer::FindEntry(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = catalog_.find(key);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
 
 DatabaseServer::DatabaseServer(std::string name, EngineProfile profile,
                                Federation* fed)
@@ -30,22 +53,25 @@ DatabaseServer::DatabaseServer(std::string name, EngineProfile profile,
 Status DatabaseServer::CreateBaseTable(const std::string& table_name,
                                        TablePtr table) {
   std::string key = ToLower(table_name);
-  if (catalog_.count(key)) {
-    return Status::CatalogError("relation already exists: " + key);
-  }
   CatalogEntry entry;
   entry.kind = EntryKind::kBase;
   entry.stats = ComputeTableStats(*table);
   entry.table = std::move(table);
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (catalog_.count(key)) {
+    return Status::CatalogError("relation already exists: " + key);
+  }
   catalog_[key] = std::move(entry);
   return Status::OK();
 }
 
 bool DatabaseServer::HasRelation(const std::string& relation) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   return catalog_.count(ToLower(relation)) > 0;
 }
 
 std::vector<std::string> DatabaseServer::TransientRelations() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   std::vector<std::string> out;
   for (const auto& [name, entry] : catalog_) {
     if (entry.kind != EntryKind::kBase) out.push_back(name);
@@ -54,6 +80,7 @@ std::vector<std::string> DatabaseServer::TransientRelations() const {
 }
 
 std::vector<std::string> DatabaseServer::BaseRelations() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   std::vector<std::string> out;
   for (const auto& [name, entry] : catalog_) {
     if (entry.kind == EntryKind::kBase) out.push_back(name);
@@ -63,16 +90,16 @@ std::vector<std::string> DatabaseServer::BaseRelations() const {
 
 Result<TableStats> DatabaseServer::GetRelationStats(
     const std::string& relation) const {
-  auto it = catalog_.find(ToLower(relation));
-  if (it == catalog_.end()) {
+  const CatalogEntry* entry = FindEntry(ToLower(relation));
+  if (entry == nullptr) {
     return Status::CatalogError("unknown relation '" + relation + "' on " +
                                 name_);
   }
-  if (it->second.kind != EntryKind::kBase &&
-      it->second.kind != EntryKind::kMaterialized) {
+  if (entry->kind != EntryKind::kBase &&
+      entry->kind != EntryKind::kMaterialized) {
     return Status::CatalogError("statistics only exist for stored tables");
   }
-  return it->second.stats;
+  return entry->stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -81,12 +108,12 @@ Result<TableStats> DatabaseServer::GetRelationStats(
 
 Result<TablePtr> DatabaseServer::Context::GetLocalTable(
     const std::string& table) {
-  auto it = server_->catalog_.find(ToLower(table));
-  if (it == server_->catalog_.end()) {
+  const CatalogEntry* found = server_->FindEntry(ToLower(table));
+  if (found == nullptr) {
     return Status::CatalogError("unknown relation '" + table + "' on " +
                                 server_->name_);
   }
-  const CatalogEntry& entry = it->second;
+  const CatalogEntry& entry = *found;
   if (entry.kind != EntryKind::kBase &&
       entry.kind != EntryKind::kMaterialized) {
     return Status::Internal("relation '" + table +
@@ -145,7 +172,7 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
       return drop;
     }
     fed->network().RecordTransfer(server, server_->name_, bytes, messages);
-    fed->PopFetch(id, rows, bytes, messages, server_->materializing_);
+    fed->PopFetch(id, rows, bytes, messages, server_->MaterializingHere());
     table = std::move(t);
     return Status::OK();
   };
@@ -175,7 +202,7 @@ int DatabaseServer::Context::exec_threads() const {
 }
 
 OperatorProfiler* DatabaseServer::Context::profiler() {
-  return server_->profiler_;
+  return server_->profiler();
 }
 
 int DatabaseServer::exec_threads() const {
@@ -194,12 +221,12 @@ Result<PlanPtr> DatabaseServer::Resolve(const std::string& db,
                                 "'");
   }
   std::string key = ToLower(table);
-  auto it = catalog_.find(key);
-  if (it == catalog_.end()) {
+  CatalogEntry* found = FindEntry(key);
+  if (found == nullptr) {
     return Status::CatalogError("unknown relation '" + key + "' on " +
                                 name_);
   }
-  CatalogEntry& entry = it->second;
+  CatalogEntry& entry = *found;
   switch (entry.kind) {
     case EntryKind::kBase:
     case EntryKind::kMaterialized:
@@ -320,10 +347,9 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
         // selectivity, morsel batches, and modelled operator seconds.
         XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
         OperatorProfiler prof;
-        OperatorProfiler* saved = profiler_;
-        profiler_ = &prof;
+        OperatorProfiler* saved = profiler_.exchange(&prof);
         Result<TablePtr> result = ExecutePlanHere(*plan);
-        profiler_ = saved;
+        profiler_.store(saved);
         XDB_RETURN_NOT_OK(result.status());
         fed_->CurrentTrace()->output_rows +=
             static_cast<double>((*result)->num_rows());
@@ -365,25 +391,27 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
     }
     case sql::StatementKind::kCreateView: {
       std::string key = ToLower(stmt.relation_name);
-      if (catalog_.count(key)) {
+      if (FindEntry(key) != nullptr) {
         return Status::CatalogError("relation already exists: " + key);
       }
       // Validate now so delegation errors surface at DDL time, as they
-      // would on a real DBMS.
+      // would on a real DBMS. Planning resolves other relations, so it runs
+      // outside the catalog lock; the insert re-checks existence.
       XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
       CatalogEntry entry;
       entry.kind = EntryKind::kView;
       entry.view_def = stmt.select;
       entry.cached_schema = plan->output_schema;
       entry.schema_cached = true;
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
       catalog_[key] = std::move(entry);
       return Status::OK();
     }
     case sql::StatementKind::kCreateForeignTable: {
       std::string key = ToLower(stmt.relation_name);
-      if (catalog_.count(key)) {
-        return Status::CatalogError("relation already exists: " + key);
-      }
       if (fed_->GetServer(stmt.server) == nullptr) {
         return Status::CatalogError("unknown SERVER: " + stmt.server);
       }
@@ -395,18 +423,23 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
         entry.cached_schema.AddField({ToLower(c), TypeId::kInt64});
       }
       entry.schema_cached = false;  // resolved lazily on first use
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
       catalog_[key] = std::move(entry);
       return Status::OK();
     }
     case sql::StatementKind::kCreateTableAs: {
       std::string key = ToLower(stmt.relation_name);
-      if (catalog_.count(key)) {
+      if (FindEntry(key) != nullptr) {
         return Status::CatalogError("relation already exists: " + key);
       }
       XDB_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(*stmt.select));
-      materializing_ = true;
+      const DatabaseServer* saved = t_materializing;
+      t_materializing = this;
       Result<TablePtr> result = ExecutePlanHere(*plan);
-      materializing_ = false;
+      t_materializing = saved;
       XDB_RETURN_NOT_OK(result.status());
       TablePtr table = std::move(result).value();
       fed_->CurrentTrace()->materialized_rows +=
@@ -415,11 +448,16 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
       entry.kind = EntryKind::kMaterialized;
       entry.stats = ComputeTableStats(*table);
       entry.table = std::move(table);
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      if (catalog_.count(key)) {
+        return Status::CatalogError("relation already exists: " + key);
+      }
       catalog_[key] = std::move(entry);
       return Status::OK();
     }
     case sql::StatementKind::kDrop: {
       std::string key = ToLower(stmt.relation_name);
+      std::lock_guard<std::mutex> lock(catalog_mu_);
       auto it = catalog_.find(key);
       if (it == catalog_.end()) {
         if (stmt.if_exists) return Status::OK();
@@ -450,12 +488,12 @@ Status DatabaseServer::ExecuteParsed(const sql::Statement& stmt,
 
 Result<Schema> DatabaseServer::DescribeRelation(const std::string& relation) {
   std::string key = ToLower(relation);
-  auto it = catalog_.find(key);
-  if (it == catalog_.end()) {
+  CatalogEntry* found = FindEntry(key);
+  if (found == nullptr) {
     return Status::CatalogError("unknown relation '" + key + "' on " +
                                 name_);
   }
-  CatalogEntry& entry = it->second;
+  CatalogEntry& entry = *found;
   if (entry.kind == EntryKind::kBase ||
       entry.kind == EntryKind::kMaterialized) {
     return entry.table->schema();
@@ -468,12 +506,12 @@ Result<Schema> DatabaseServer::DescribeRelation(const std::string& relation) {
 Result<double> DatabaseServer::EstimateRelationRows(
     const std::string& relation) {
   std::string key = ToLower(relation);
-  auto it = catalog_.find(key);
-  if (it == catalog_.end()) {
+  CatalogEntry* found = FindEntry(key);
+  if (found == nullptr) {
     return Status::CatalogError("unknown relation '" + key + "' on " +
                                 name_);
   }
-  CatalogEntry& entry = it->second;
+  CatalogEntry& entry = *found;
   if (entry.kind == EntryKind::kBase ||
       entry.kind == EntryKind::kMaterialized) {
     return entry.stats.row_count;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/common/result.h"
@@ -28,6 +30,15 @@ struct ExplainResult {
 /// costing interface, and a SQL/MED foreign-table implementation that lets
 /// it read relations living on other servers. It is a black box otherwise —
 /// it plans and executes delegated statements with its *own* optimizer.
+///
+/// Concurrency: catalog map operations (lookup/insert/erase/listing) are
+/// mutex-guarded so concurrent sessions may deploy and drop their own
+/// namespaced relations on one server. Entry *contents* are accessed
+/// unlocked: base/materialized/view entries are immutable once created, and
+/// a foreign entry's lazily-resolved schema is only ever touched by the one
+/// query that deployed it (transient relations are per-query named). The
+/// CTAS "materializing" marker is thread-local, so one session's explicit
+/// movement never mislabels another session's concurrent fetches.
 class DatabaseServer : public RelationResolver {
  public:
   DatabaseServer(std::string name, EngineProfile profile, Federation* fed);
@@ -48,8 +59,12 @@ class DatabaseServer : public RelationResolver {
   /// the default — detaches; the executor then pays one pointer compare per
   /// plan node). EXPLAIN ANALYZE attaches one internally for the statement
   /// it executes; benches attach one across whole runs. Observational only.
-  void set_profiler(OperatorProfiler* profiler) { profiler_ = profiler; }
-  OperatorProfiler* profiler() const { return profiler_; }
+  void set_profiler(OperatorProfiler* profiler) {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+  OperatorProfiler* profiler() const {
+    return profiler_.load(std::memory_order_acquire);
+  }
 
   // --- storage bootstrap (out-of-band; not part of the query interface) ---
 
@@ -140,13 +155,23 @@ class DatabaseServer : public RelationResolver {
   Result<TablePtr> ExecutePlanHere(const PlanNode& plan);
   Status ExecuteParsed(const sql::Statement& stmt, TablePtr* out);
 
+  /// Node-stable pointer to the entry for `key` (already lowercased), or
+  /// nullptr when absent. The lock covers only the map lookup; see the
+  /// class comment for why entry contents are safe to use unlocked.
+  CatalogEntry* FindEntry(const std::string& key);
+  const CatalogEntry* FindEntry(const std::string& key) const;
+
+  /// True while the *calling thread* materializes a CTAS on this server
+  /// (marks its foreign fetches as explicit-movement transfers).
+  bool MaterializingHere() const;
+
   std::string name_;
   EngineProfile profile_;
   Federation* fed_;
+  mutable std::mutex catalog_mu_;  // guards catalog_ map operations
   std::map<std::string, CatalogEntry> catalog_;
   int exec_threads_ = 0;  // 0 = hardware concurrency
-  OperatorProfiler* profiler_ = nullptr;
-  bool materializing_ = false;  // inside CREATE TABLE AS (marks fetches)
+  std::atomic<OperatorProfiler*> profiler_{nullptr};
 
   friend class Context;
 };

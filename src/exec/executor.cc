@@ -201,6 +201,26 @@ struct GroupEntry {
 
 using GroupMap = std::unordered_map<std::string, GroupEntry>;
 
+/// Moves `cand` into `buf`, keeping only rows passing `residual` (nullptr =
+/// keep all). One EvalPredicateBatch sweep per morsel instead of a scalar
+/// EvalPredicate per joined row, so a residual's typed inner loops amortize
+/// over the whole candidate batch. Selection semantics are identical to the
+/// scalar path by the batch evaluator's contract, and morsel boundaries are
+/// unchanged — output order and traces stay bit-identical.
+void AppendResidualFiltered(const Expr* residual, std::vector<Row>* cand,
+                            std::vector<Row>* buf) {
+  if (residual == nullptr) {
+    for (Row& r : *cand) buf->push_back(std::move(r));
+    cand->clear();
+    return;
+  }
+  SelVector sel;
+  SelRange(0, cand->size(), &sel);
+  EvalPredicateBatch(*residual, *cand, &sel);
+  for (uint32_t idx : sel) buf->push_back(std::move((*cand)[idx]));
+  cand->clear();
+}
+
 Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
                           TablePtr left, TablePtr right) {
   ComputeTrace* trace = ctx->trace();
@@ -220,6 +240,7 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
     MorselParallelAppend(
         workers, left->num_rows(), out.get(),
         [&](size_t begin, size_t end, std::vector<Row>* buf) {
+          std::vector<Row> cand;
           for (size_t i = begin; i < end; ++i) {
             const Row& lr = left->row(i);
             for (const auto& rr : right->rows()) {
@@ -227,12 +248,10 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
               row.reserve(lr.size() + rr.size());
               row.insert(row.end(), lr.begin(), lr.end());
               row.insert(row.end(), rr.begin(), rr.end());
-              if (plan.residual && !EvalPredicate(*plan.residual, row)) {
-                continue;
-              }
-              buf->push_back(std::move(row));
+              cand.push_back(std::move(row));
             }
           }
+          AppendResidualFiltered(plan.residual.get(), &cand, buf);
         });
     trace->join_output_rows += static_cast<double>(out->num_rows());
     return out;
@@ -273,6 +292,7 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
           valid[i - begin] =
               NormalizedJoinKey(probe.row(i), probe_keys, &keys[i - begin]);
         }
+        std::vector<Row> cand;
         for (size_t i = begin; i < end; ++i) {
           if (!valid[i - begin]) continue;
           const std::vector<size_t>* matches = ht.Find(keys[i - begin]);
@@ -284,12 +304,10 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
             row.reserve(lr.size() + rr.size());
             row.insert(row.end(), lr.begin(), lr.end());
             row.insert(row.end(), rr.begin(), rr.end());
-            if (plan.residual && !EvalPredicate(*plan.residual, row)) {
-              continue;
-            }
-            buf->push_back(std::move(row));
+            cand.push_back(std::move(row));
           }
         }
+        AppendResidualFiltered(plan.residual.get(), &cand, buf);
       });
   trace->join_output_rows += static_cast<double>(out->num_rows());
   return out;

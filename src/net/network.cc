@@ -34,8 +34,11 @@ bool Network::CheckNodeKnown(const std::string& name) const {
 
 LinkProps Network::GetLink(const std::string& a,
                            const std::string& b) const {
-  CheckNodeKnown(a);
-  CheckNodeKnown(b);
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    CheckNodeKnown(a);
+    CheckNodeKnown(b);
+  }
   auto it = links_.find(Key(a, b));
   LinkProps props = it != links_.end() ? it->second : default_link_;
   if (injector_ != nullptr) injector_->DegradeLink(a, b, &props);
@@ -56,6 +59,7 @@ bool Network::IsReachable(const std::string& a, const std::string& b) const {
 }
 
 void Network::set_metrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(*mu_);
   metrics_ = registry;
   metric_by_link_.clear();
   if (registry == nullptr) {
@@ -71,6 +75,7 @@ void Network::set_metrics(MetricsRegistry* registry) {
 
 void Network::RecordTransfer(const std::string& src, const std::string& dst,
                              double bytes, uint64_t messages) {
+  std::lock_guard<std::mutex> lock(*mu_);
   bool src_ok = CheckNodeKnown(src);
   if (!CheckNodeKnown(dst) || !src_ok) return;
   LinkStats& s = stats_[{src, dst}];
@@ -97,12 +102,14 @@ void Network::RecordTransfer(const std::string& src, const std::string& dst,
 }
 
 double Network::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   double total = 0;
   for (const auto& [k, s] : stats_) total += s.bytes;
   return total;
 }
 
 double Network::BytesInvolving(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   double total = 0;
   for (const auto& [k, s] : stats_) {
     if (k.first == node || k.second == node) total += s.bytes;

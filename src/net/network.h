@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,6 +33,12 @@ struct LinkStats {
 /// data-transfer experiment (the paper reads Docker's network statistics;
 /// we read these counters); and (2) it supplies link properties to the
 /// timing model. It never sleeps or blocks — time is modelled, not spent.
+///
+/// Concurrency: topology (nodes/links/blocked pairs) is setup-time only.
+/// The *accounting* paths — RecordTransfer, the unknown-node violation set,
+/// and the memoized per-link metric cells — are mutex-guarded so concurrent
+/// queries may record traffic safely. The network is move-only (the mutex
+/// travels behind a pointer); reads of stats() must not race RecordTransfer.
 class Network {
  public:
   /// Registers a node; links to other nodes use the default props unless
@@ -70,10 +78,14 @@ class Network {
   /// Node names seen by GetLink/RecordTransfer that were never registered
   /// with AddNode. Empty in a correctly wired federation; tests assert on
   /// it to catch topology typos.
-  const std::set<std::string>& unknown_nodes() const {
+  std::set<std::string> unknown_nodes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
     return unknown_nodes_;
   }
-  void ClearUnknownNodes() { unknown_nodes_.clear(); }
+  void ClearUnknownNodes() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    unknown_nodes_.clear();
+  }
 
   /// Attaches a fault injector whose slow-link specs degrade GetLink
   /// results (nullptr detaches; the default). Degradation feeds both the
@@ -88,9 +100,10 @@ class Network {
   /// Purely additive — the per-link stats() accounting is unchanged.
   void set_metrics(MetricsRegistry* registry);
 
-  /// Traffic counters per directed pair.
-  const std::map<std::pair<std::string, std::string>, LinkStats>& stats()
-      const {
+  /// Traffic counters per directed pair (snapshot; safe to call while other
+  /// threads record transfers).
+  std::map<std::pair<std::string, std::string>, LinkStats> stats() const {
+    std::lock_guard<std::mutex> lock(*mu_);
     return stats_;
   }
 
@@ -99,7 +112,10 @@ class Network {
   /// Bytes on links where `node` is source or destination.
   double BytesInvolving(const std::string& node) const;
 
-  void ResetStats() { stats_.clear(); }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    stats_.clear();
+  }
 
   // --- topology presets (see DESIGN.md §1) ---
 
@@ -123,8 +139,13 @@ class Network {
   }
 
   /// Records (and returns false for) an unregistered node name.
+  /// Caller must hold *mu_.
   bool CheckNodeKnown(const std::string& name) const;
 
+  // Guards the accounting state (stats_, unknown_nodes_, metric_by_link_).
+  // Behind a pointer so Network stays movable (preset factories return by
+  // value); a moved-from network must not be used.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::vector<std::string> nodes_;
   LinkProps default_link_;
   const FaultInjector* injector_ = nullptr;

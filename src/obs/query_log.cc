@@ -1,5 +1,6 @@
 #include "src/obs/query_log.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "src/common/json_writer.h"
@@ -7,13 +8,25 @@
 namespace xdb {
 
 void QueryLog::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   while (capacity_ > 0 && entries_.size() > capacity_) {
     entries_.pop_front();
   }
 }
 
+void QueryLog::set_drift_threshold(double fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_threshold_ = fraction;
+}
+
+double QueryLog::drift_threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_threshold_;
+}
+
 void QueryLog::Record(QueryStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats.sequence = ++total_recorded_;
   if (stats.label.empty()) {
     if (!next_label_.empty()) {
@@ -27,13 +40,55 @@ void QueryLog::Record(QueryStats stats) {
   lifetime_modelled_seconds_ += stats.total_seconds();
   lifetime_useful_bytes_ += stats.useful_bytes;
   lifetime_wasted_bytes_ += stats.wasted_bytes;
+
+  // Per-label aggregates + drift check against the history *before* this
+  // run (a drifted run must not drag the mean toward itself first).
+  LabelStats& ls = label_stats_[stats.label];
+  const double total = stats.total_seconds();
+  if (stats.ok && ls.ok_runs() >= kDriftMinSamples &&
+      ls.mean_seconds() > 0) {
+    const double mean = ls.mean_seconds();
+    const double delta = (total - mean) / mean;
+    if (std::fabs(delta) > drift_threshold_) {
+      ++ls.drifts;
+      drift_events_.push_back(
+          DriftEvent{stats.sequence, stats.label, mean, total, delta});
+      while (drift_events_.size() > kDriftRingCapacity) {
+        drift_events_.pop_front();
+      }
+    }
+  }
+  ++ls.runs;
+  if (!stats.ok) ++ls.failures;
+  if (stats.plan_cache_hit) ++ls.cache_hits;
+  if (stats.ok) {
+    if (ls.ok_runs() == 1) {
+      ls.min_seconds = ls.max_seconds = total;
+    } else {
+      if (total < ls.min_seconds) ls.min_seconds = total;
+      if (total > ls.max_seconds) ls.max_seconds = total;
+    }
+    ls.sum_seconds += total;
+  }
+
   entries_.push_back(std::move(stats));
   while (capacity_ > 0 && entries_.size() > capacity_) {
     entries_.pop_front();
   }
 }
 
+std::vector<QueryStats> QueryLog::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryStats>(entries_.begin(), entries_.end());
+}
+
+std::vector<DriftEvent> QueryLog::DriftEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<DriftEvent>(drift_events_.begin(), drift_events_.end());
+}
+
 void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   next_label_.clear();
   total_recorded_ = 0;
@@ -41,9 +96,12 @@ void QueryLog::Clear() {
   lifetime_modelled_seconds_ = 0;
   lifetime_useful_bytes_ = 0;
   lifetime_wasted_bytes_ = 0;
+  label_stats_.clear();
+  drift_events_.clear();
 }
 
 std::vector<std::string> QueryLog::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> lines;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -56,14 +114,23 @@ std::vector<std::string> QueryLog::Summary() const {
                 lifetime_wasted_bytes_, entries_.size(),
                 static_cast<long long>(total_recorded_));
   lines.emplace_back(buf);
+  if (!drift_events_.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "drift: %zu run(s) diverged >%.0f%% from label history "
+                  "(drill down with \\stats <label>)",
+                  drift_events_.size(), drift_threshold_ * 100.0);
+    lines.emplace_back(buf);
+  }
   for (const auto& q : entries_) {
     std::snprintf(buf, sizeof(buf),
                   "#%-4lld %-8s %-7s %8.2fs  useful=%.0fB wasted=%.0fB "
-                  "transfers=%d retries=%d replans=%d recovery=%s%s",
+                  "transfers=%d retries=%d replans=%d recovery=%s%s%s",
                   static_cast<long long>(q.sequence), q.label.c_str(),
                   q.system.c_str(), q.total_seconds(), q.useful_bytes,
                   q.wasted_bytes, q.transfers, q.retries, q.replan_rounds,
-                  q.recovery_action.c_str(), q.ok ? "" : "  FAILED");
+                  q.recovery_action.c_str(),
+                  q.plan_cache_hit ? "  [cached plan]" : "",
+                  q.ok ? "" : "  FAILED");
     lines.emplace_back(buf);
     for (const auto& [server, seconds] : q.per_server_seconds) {
       std::snprintf(buf, sizeof(buf), "      %-10s %8.2fs compute",
@@ -79,7 +146,68 @@ std::vector<std::string> QueryLog::Summary() const {
   return lines;
 }
 
+std::vector<std::string> QueryLog::LabelDrilldown(
+    const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lines;
+  char buf[256];
+  if (label.empty() || label_stats_.find(label) == label_stats_.end()) {
+    lines.emplace_back(label.empty() ? "known labels:"
+                                     : "unknown label '" + label +
+                                           "'; known labels:");
+    for (const auto& [name, ls] : label_stats_) {
+      std::snprintf(buf, sizeof(buf), "  %-8s %lld run(s)%s", name.c_str(),
+                    static_cast<long long>(ls.runs),
+                    ls.drifts > 0 ? "  [drifted]" : "");
+      lines.emplace_back(buf);
+    }
+    return lines;
+  }
+  const LabelStats& ls = label_stats_.at(label);
+  std::snprintf(buf, sizeof(buf),
+                "%s: %lld run(s), %lld failed, %lld served from plan cache",
+                label.c_str(), static_cast<long long>(ls.runs),
+                static_cast<long long>(ls.failures),
+                static_cast<long long>(ls.cache_hits));
+  lines.emplace_back(buf);
+  if (ls.ok_runs() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  modelled seconds: mean=%.3f min=%.3f max=%.3f "
+                  "(over %lld successful run(s))",
+                  ls.mean_seconds(), ls.min_seconds, ls.max_seconds,
+                  static_cast<long long>(ls.ok_runs()));
+    lines.emplace_back(buf);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  drift: %lld run(s) diverged >%.0f%% from the running "
+                "mean",
+                static_cast<long long>(ls.drifts), drift_threshold_ * 100.0);
+  lines.emplace_back(buf);
+  for (const auto& ev : drift_events_) {
+    if (ev.label != label) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "    #%-4lld expected %.3fs, got %.3fs (%+.0f%%)",
+                  static_cast<long long>(ev.sequence), ev.expected_seconds,
+                  ev.actual_seconds, ev.delta_fraction * 100.0);
+    lines.emplace_back(buf);
+  }
+  for (const auto& q : entries_) {
+    if (q.label != label) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  #%-4lld %-7s %8.3fs  useful=%.0fB wasted=%.0fB "
+                  "replans=%d%s%s",
+                  static_cast<long long>(q.sequence), q.system.c_str(),
+                  q.total_seconds(), q.useful_bytes, q.wasted_bytes,
+                  q.replan_rounds,
+                  q.plan_cache_hit ? "  [cached plan]" : "",
+                  q.ok ? "" : "  FAILED");
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
 std::string QueryLog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Field("total_recorded", total_recorded_);
@@ -88,6 +216,18 @@ std::string QueryLog::ToJson() const {
   w.Field("lifetime_useful_bytes", lifetime_useful_bytes_);
   w.Field("lifetime_wasted_bytes", lifetime_wasted_bytes_);
   w.Field("capacity", static_cast<int64_t>(capacity_));
+  w.Key("drift_events");
+  w.BeginArray();
+  for (const auto& ev : drift_events_) {
+    w.BeginObject();
+    w.Field("sequence", ev.sequence);
+    w.Field("label", ev.label);
+    w.Field("expected_seconds", ev.expected_seconds);
+    w.Field("actual_seconds", ev.actual_seconds);
+    w.Field("delta_fraction", ev.delta_fraction);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("queries");
   w.BeginArray();
   for (const auto& q : entries_) {
@@ -98,6 +238,7 @@ std::string QueryLog::ToJson() const {
     w.Field("sql", q.sql);
     w.Field("ok", q.ok);
     if (!q.error.empty()) w.Field("error", q.error);
+    w.Field("plan_cache_hit", q.plan_cache_hit);
     w.Key("phases");
     w.BeginObject();
     w.Field("prep", q.prep_seconds);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +22,7 @@ struct QueryStats {
   std::string sql;
   bool ok = true;
   std::string error;  // final status message when !ok
+  bool plan_cache_hit = false;  // plan served from the delegation-plan cache
 
   // Modelled phase seconds (the paper's Figure 15 buckets).
   double prep_seconds = 0;
@@ -54,11 +56,34 @@ struct QueryStats {
   }
 };
 
+/// \brief A recorded query whose modelled runtime diverged from its label's
+/// running history by more than the drift threshold — the serving-layer
+/// signal that a placement, statistic, or plan regressed for a recurring
+/// query shape.
+struct DriftEvent {
+  int64_t sequence = 0;
+  std::string label;
+  double expected_seconds = 0;  // label's running mean before this query
+  double actual_seconds = 0;
+  double delta_fraction = 0;  // (actual - expected) / expected, signed
+};
+
 /// \brief Bounded ring of QueryStats — the query-history side of the
 /// observability layer. Attached to a Federation like the span recorder
 /// (nullptr detaches; recording is observational only). Holds at most
 /// `capacity` records: older queries are evicted, lifetime totals keep
 /// counting, so a 10,000-query session holds O(capacity) memory.
+///
+/// Thread-safe: concurrent sessions Record() in parallel; readers get
+/// snapshots. entries() still returns a reference and remains a
+/// single-threaded inspection API — use SnapshotEntries() under concurrency.
+///
+/// Per-label drift detection: the log keeps running aggregates per label
+/// (bounded by the label vocabulary, which is bounded by construction —
+/// DESIGN.md §8). Once a label has `kDriftMinSamples` successful runs, any
+/// further run whose modelled time diverges from the label's running mean
+/// by more than `drift_threshold` (default 25%) is banked as a DriftEvent,
+/// surfaced in Summary() and the `\stats <label>` drill-down.
 class QueryLog {
  public:
   explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
@@ -73,14 +98,40 @@ class QueryLog {
   /// Labels the *next* recorded query (e.g. "Q5" from a bench driver); the
   /// hint is consumed by the next Record. Labels feed the `{query=...}`
   /// metric dimension, so they should come from a bounded vocabulary
-  /// (DESIGN.md §8 cardinality rules).
-  void set_next_label(std::string label) { next_label_ = std::move(label); }
-  const std::string& next_label() const { return next_label_; }
+  /// (DESIGN.md §8 cardinality rules). Racy under concurrent serving by
+  /// nature (two sessions' hints interleave) — sessions should label via
+  /// QueryContext::label instead.
+  void set_next_label(std::string label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_label_ = std::move(label);
+  }
+  std::string next_label() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_label_;
+  }
 
   const std::deque<QueryStats>& entries() const { return entries_; }
+  /// Thread-safe copy of the retained history.
+  std::vector<QueryStats> SnapshotEntries() const;
   /// Lifetime count, including evicted records.
-  int64_t total_recorded() const { return total_recorded_; }
-  int64_t total_failed() const { return total_failed_; }
+  int64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_recorded_;
+  }
+  int64_t total_failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_failed_;
+  }
+
+  // --- drift detection ---
+
+  /// Divergence-from-mean fraction beyond which a run counts as drifted
+  /// (0.25 = 25%). Applies to queries recorded after the change.
+  void set_drift_threshold(double fraction);
+  double drift_threshold() const;
+
+  /// Drifted runs observed so far (bounded ring of the most recent 64).
+  std::vector<DriftEvent> DriftEvents() const;
 
   void Clear();
 
@@ -88,11 +139,38 @@ class QueryLog {
   /// query (label, system, modelled seconds, bytes, recovery).
   std::vector<std::string> Summary() const;
 
+  /// Shell-facing per-label drill-down: the label's running aggregates
+  /// (runs, failures, cache hits, mean/min/max modelled seconds), its
+  /// retained runs, and any drift events. Empty label -> list of known
+  /// labels.
+  std::vector<std::string> LabelDrilldown(const std::string& label) const;
+
   /// JSON dump of the retained history (machine-readable `\stats` / the
   /// bench --querylog artifact).
   std::string ToJson() const;
 
  private:
+  /// Running aggregates for one query label. Mean/min/max track successful
+  /// runs only (a failed run's time measures the fault schedule, not the
+  /// plan).
+  struct LabelStats {
+    int64_t runs = 0;
+    int64_t failures = 0;
+    int64_t cache_hits = 0;
+    int64_t drifts = 0;
+    double sum_seconds = 0;
+    double min_seconds = 0;
+    double max_seconds = 0;
+    int64_t ok_runs() const { return runs - failures; }
+    double mean_seconds() const {
+      return ok_runs() > 0 ? sum_seconds / static_cast<double>(ok_runs()) : 0;
+    }
+  };
+
+  static constexpr int64_t kDriftMinSamples = 3;
+  static constexpr size_t kDriftRingCapacity = 64;
+
+  mutable std::mutex mu_;
   size_t capacity_;
   std::deque<QueryStats> entries_;
   std::string next_label_;
@@ -101,6 +179,9 @@ class QueryLog {
   double lifetime_modelled_seconds_ = 0;
   double lifetime_useful_bytes_ = 0;
   double lifetime_wasted_bytes_ = 0;
+  double drift_threshold_ = 0.25;
+  std::map<std::string, LabelStats> label_stats_;
+  std::deque<DriftEvent> drift_events_;
 };
 
 }  // namespace xdb

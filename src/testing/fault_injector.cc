@@ -47,27 +47,35 @@ const char* FaultKindToString(FaultKind kind) {
 }
 
 int FaultInjector::AddFault(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   int id = next_id_++;
   faults_[id] = ActiveFault{std::move(spec), 0};
   return id;
 }
 
-void FaultInjector::RemoveFault(int id) { faults_.erase(id); }
+void FaultInjector::RemoveFault(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.erase(id);
+}
 
 void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   faults_.clear();
   down_nodes_.clear();
 }
 
 void FaultInjector::MarkNodeDown(const std::string& server) {
+  std::lock_guard<std::mutex> lock(mu_);
   down_nodes_.insert(server);
 }
 
 void FaultInjector::MarkNodeUp(const std::string& server) {
+  std::lock_guard<std::mutex> lock(mu_);
   down_nodes_.erase(server);
 }
 
 bool FaultInjector::IsNodeDown(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return down_nodes_.count(server) > 0;
 }
 
@@ -94,6 +102,7 @@ bool FaultInjector::Fires(ActiveFault* fault) {
 
 Status FaultInjector::OnOperation(const std::string& server, FaultOp op,
                                   const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (down_nodes_.count(server) > 0) {
     last_fault_ = FaultEvent{-1, server, peer, op, FaultKind::kNodeDown};
     ++faults_fired_;
@@ -144,6 +153,7 @@ Status FaultInjector::OnOperation(const std::string& server, FaultOp op,
 
 void FaultInjector::DegradeLink(const std::string& a, const std::string& b,
                                 LinkProps* props) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, fault] : faults_) {
     const FaultSpec& spec = fault.spec;
     if (spec.kind != FaultKind::kSlowLink || spec.slow_factor <= 1.0) {
@@ -156,6 +166,7 @@ void FaultInjector::DegradeLink(const std::string& a, const std::string& b,
 }
 
 double FaultInjector::TakeInjectedDelay() {
+  std::lock_guard<std::mutex> lock(mu_);
   double d = pending_delay_seconds_;
   pending_delay_seconds_ = 0;
   return d;

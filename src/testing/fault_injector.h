@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -75,6 +76,13 @@ struct FaultEvent {
 /// to the query's timing breakdown. When no injector is attached (the
 /// default), every hook is a null-pointer check: the fault-free path is
 /// bit-identical to a build without the framework.
+///
+/// Thread-safe: counters, PRNG, and the last-fault record are mutex-guarded
+/// so concurrent sessions may share one injector. Under concurrency the
+/// *interleaving* of matched calls (and hence which query a probabilistic
+/// fault hits) is scheduling-dependent; single-threaded runs keep the exact
+/// deterministic sequence. Prefer LastFaultSnapshot() over last_fault() from
+/// concurrent callers.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 0) : prng_state_(seed) {}
@@ -102,9 +110,23 @@ class FaultInjector {
   void DegradeLink(const std::string& a, const std::string& b,
                    LinkProps* props) const;
 
+  /// Single-threaded inspection API (tests): reference into guarded state.
   const std::optional<FaultEvent>& last_fault() const { return last_fault_; }
-  int faults_fired() const { return faults_fired_; }
-  double injected_delay_seconds() const { return total_delay_seconds_; }
+
+  /// Concurrency-safe snapshot of the last fired fault (copy under lock).
+  std::optional<FaultEvent> LastFaultSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_fault_;
+  }
+
+  int faults_fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_fired_;
+  }
+  double injected_delay_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_delay_seconds_;
+  }
 
   /// Drains modelled delay accumulated by fired faults since the last
   /// call; the federation charges it to the active run.
@@ -121,6 +143,7 @@ class FaultInjector {
 
   bool Fires(ActiveFault* fault);
 
+  mutable std::mutex mu_;
   std::map<int, ActiveFault> faults_;
   std::set<std::string> down_nodes_;
   int next_id_ = 0;

@@ -4,6 +4,14 @@
 
 namespace xdb {
 
+namespace {
+thread_local int t_metadata_roundtrips = 0;
+}  // namespace
+
+int GlobalCatalog::ThreadRoundtrips() { return t_metadata_roundtrips; }
+
+void GlobalCatalog::ResetThreadRoundtrips() { t_metadata_roundtrips = 0; }
+
 GlobalCatalog::GlobalCatalog(
     std::map<std::string, DbmsConnector*> connectors)
     : connectors_(std::move(connectors)) {
@@ -34,15 +42,38 @@ Result<PlanPtr> GlobalCatalog::Resolve(const std::string& db,
     return Status::CatalogError("table '" + key + "' resides on " +
                                 meta.server + ", not on '" + db + "'");
   }
+  // The lock spans the lazy load so two sessions racing on a cold table
+  // fetch its metadata exactly once (the loser sees loaded == true).
+  std::lock_guard<std::mutex> lock(mu_);
   if (!meta.loaded) {
     DbmsConnector* dc = connectors_.at(meta.server);
     XDB_ASSIGN_OR_RETURN(meta.schema, dc->DescribeTable(key));
-    ++metadata_roundtrips_;
+    metadata_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    ++t_metadata_roundtrips;
     XDB_ASSIGN_OR_RETURN(meta.stats, dc->FetchStats(key));
-    ++metadata_roundtrips_;
+    metadata_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    ++t_metadata_roundtrips;
     meta.loaded = true;
   }
   return PlanNode::MakeScan(meta.server, key, key, meta.schema, meta.stats);
+}
+
+void GlobalCatalog::InvalidateTable(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(ToLower(table));
+    if (it != tables_.end()) it->second.loaded = false;
+  }
+  catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void GlobalCatalog::InvalidateStats(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(ToLower(table));
+    if (it != tables_.end()) it->second.loaded = false;
+  }
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace xdb

@@ -1,0 +1,115 @@
+#include "src/xdb/plan_cache.h"
+
+#include <cctype>
+
+namespace xdb {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (c == '\'') {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+      in_string = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+PlanPtr DelegationPlanCache::Lookup(const std::string& norm_sql,
+                                    const std::string& fingerprint) {
+  PlanPtr master;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(norm_sql);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (it->second->fingerprint != fingerprint) {
+      // Stale placement: the world changed under this plan. Retire it.
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++misses_;
+      ++evictions_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    master = it->second->plan;
+    ++hits_;
+  }
+  // Clone outside the lock: the master is immutable and the shared_ptr
+  // keeps it alive even if it gets evicted concurrently.
+  return master->Clone();
+}
+
+int DelegationPlanCache::Insert(const std::string& norm_sql,
+                                const std::string& fingerprint,
+                                PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int evicted = 0;
+  auto it = index_.find(norm_sql);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{norm_sql, fingerprint, std::move(plan)});
+  index_[norm_sql] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evicted;
+  }
+  evictions_ += evicted;
+  return evicted;
+}
+
+void DelegationPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  evictions_ += static_cast<int64_t>(lru_.size());
+  lru_.clear();
+  index_.clear();
+}
+
+int64_t DelegationPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t DelegationPlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t DelegationPlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t DelegationPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace xdb

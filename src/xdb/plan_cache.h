@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/plan/plan.h"
+
+namespace xdb {
+
+/// \brief Canonical cache key for a SQL text: lowercased outside string
+/// literals, whitespace collapsed, trailing semicolon dropped. Two queries
+/// normalizing to the same string are the same statement to the planner.
+std::string NormalizeSql(const std::string& sql);
+
+/// \brief Bounded LRU cache of *annotated* logical plans, keyed by
+/// normalized SQL + placement fingerprint.
+///
+/// The fingerprint folds together everything the annotation depends on —
+/// global-catalog schema/stats versions, the engine-profile hash, the
+/// planner/movement configuration, and the serving layer's placement epoch
+/// (bumped on failover replanning) — so a hit is only possible when the
+/// cached placement decision is still valid. A fingerprint mismatch on
+/// lookup retires the stale entry (counted as a miss), which is how
+/// catalog/stats invalidation and failover epochs evict without a sweep.
+///
+/// Hits return a deep *clone*: callers mutate their plan (finalization,
+/// re-annotation in failover rounds), so the cached master stays pristine.
+/// Thread-safe; cloning happens outside the lock.
+class DelegationPlanCache {
+ public:
+  /// `capacity` = max resident plans (>=1; callers gate capacity 0 by not
+  /// constructing a cache at all).
+  explicit DelegationPlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a clone of the cached annotated plan for (normalized sql,
+  /// fingerprint), or nullptr on miss.
+  PlanPtr Lookup(const std::string& norm_sql, const std::string& fingerprint);
+
+  /// Caches `plan` (treated as immutable from now on) under the key.
+  /// Replaces an existing entry for the same SQL; evicts LRU entries over
+  /// capacity. Returns how many entries were evicted.
+  int Insert(const std::string& norm_sql, const std::string& fingerprint,
+             PlanPtr plan);
+
+  /// Drops every entry (explicit invalidation; counted as evictions).
+  void Clear();
+
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string fingerprint;
+    PlanPtr plan;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  // MRU at front; map points into the list (iterators are stable).
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace xdb

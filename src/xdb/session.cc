@@ -1,0 +1,93 @@
+#include "src/xdb/session.h"
+
+#include "src/obs/metrics.h"
+
+namespace xdb {
+
+XdbSession::XdbSession(SessionManager* mgr, int id, size_t span_capacity)
+    : mgr_(mgr), id_(id), ddl_prefix_("xdb_s" + std::to_string(id)) {
+  if (span_capacity > 0) {
+    spans_ = std::make_unique<SpanRecorder>();
+    spans_->set_capacity(span_capacity);
+  }
+}
+
+XdbSession::~XdbSession() { mgr_->CloseSession(); }
+
+Result<XdbReport> XdbSession::Query(const std::string& sql,
+                                    const std::string& label) {
+  return mgr_->Run(this, sql, label);
+}
+
+SessionManager::SessionManager(XdbSystem* xdb, ServingOptions options)
+    : xdb_(xdb), options_(options) {}
+
+std::unique_ptr<XdbSession> SessionManager::OpenSession() {
+  int id = next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int active = active_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (MetricsRegistry* m = xdb_->federation()->metrics()) {
+    m->GetCounter("xdb_sessions_opened_total", "Sessions opened")
+        ->Increment();
+  }
+  SetGauge("xdb_active_sessions", active, "Sessions currently open");
+  // unique_ptr via `new`: the constructor is private to this friend.
+  return std::unique_ptr<XdbSession>(
+      new XdbSession(this, id, options_.session_span_capacity));
+}
+
+void SessionManager::CloseSession() {
+  int active = active_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  SetGauge("xdb_active_sessions", active, "Sessions currently open");
+}
+
+void SessionManager::SetGauge(const std::string& name, double value,
+                              const std::string& help) {
+  if (MetricsRegistry* m = xdb_->federation()->metrics()) {
+    m->GetGauge(name, help)->Set(value);
+  }
+}
+
+Result<XdbReport> SessionManager::Run(XdbSession* session,
+                                      const std::string& sql,
+                                      const std::string& label) {
+  // Admission: closed-loop clients block here when the federation is at
+  // its in-flight limit, bounding memory and scheduler pressure.
+  int inflight_now = active_sessions_.load(std::memory_order_relaxed);
+  if (options_.max_concurrent_queries > 0) {
+    std::unique_lock<std::mutex> lock(admission_mu_);
+    admission_cv_.wait(lock, [&] {
+      return inflight_ < options_.max_concurrent_queries;
+    });
+    inflight_now = ++inflight_;
+  }
+  SetGauge("xdb_inflight_queries", inflight_now,
+           "Queries currently executing");
+
+  QueryContext ctx;
+  ctx.ddl_prefix = session->ddl_prefix_;
+  ctx.label = label;
+  ctx.spans = session->spans();
+  Result<XdbReport> result = xdb_->Query(sql, ctx);
+
+  total_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    session->latencies_.push_back(result->total_seconds());
+    if (result->plan_cache_hit) ++session->plan_cache_hits_;
+  } else {
+    // Failures are counted, not timed: the failed trace lives in the
+    // system-wide last_trace(), which concurrent sessions overwrite — any
+    // read here would make the latency series schedule-dependent.
+    ++session->failures_;
+  }
+
+  if (options_.max_concurrent_queries > 0) {
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      --inflight_;
+    }
+    admission_cv_.notify_one();
+  }
+  return result;
+}
+
+}  // namespace xdb

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/xdb/xdb.h"
+
+namespace xdb {
+
+class SessionManager;
+
+/// \brief Serving-layer knobs for one SessionManager.
+struct ServingOptions {
+  /// Queries allowed in flight simultaneously across all sessions
+  /// (admission control). 0 = unlimited. Excess callers block in Query()
+  /// until a slot frees — closed-loop clients self-throttle.
+  int max_concurrent_queries = 0;
+
+  /// Per-session span-recorder ring capacity. 0 (default) disables
+  /// per-session recording — sessions then share whatever recorder is on
+  /// the federation, which interleaves timelines under concurrency.
+  size_t session_span_capacity = 0;
+};
+
+/// \brief One client's connection to the federation: a DDL namespace, a
+/// query-label channel, an optional private span timeline, and per-session
+/// latency bookkeeping. Obtained from SessionManager::OpenSession().
+///
+/// A session is NOT itself thread-safe — it models one client, so one
+/// thread drives it at a time. Concurrency comes from many sessions
+/// calling Query() in parallel: the underlying XdbSystem runs each on its
+/// calling thread with thread-local run recording, session-scoped relation
+/// names ("xdb_s<id>_q<n>_t<k>"), and a fair query-tagged morsel scheduler.
+class XdbSession {
+ public:
+  ~XdbSession();
+  XdbSession(const XdbSession&) = delete;
+  XdbSession& operator=(const XdbSession&) = delete;
+
+  /// Runs one query under this session's namespace. Blocks for admission
+  /// when the manager's in-flight limit is reached.
+  Result<XdbReport> Query(const std::string& sql) { return Query(sql, ""); }
+
+  /// Query() with a query-log label ("Q5"-style, bounded vocabulary).
+  Result<XdbReport> Query(const std::string& sql, const std::string& label);
+
+  int id() const { return id_; }
+  /// Prefix for every relation this session deploys ("xdb_s<id>").
+  const std::string& ddl_prefix() const { return ddl_prefix_; }
+
+  int64_t queries_run() const {
+    return static_cast<int64_t>(latencies_.size()) + failures_;
+  }
+  int64_t plan_cache_hits() const { return plan_cache_hits_; }
+  int64_t failures() const { return failures_; }
+
+  /// Modelled end-to-end seconds of each *successful* query, in issue
+  /// order (failures are counted in failures(), not timed). The qps bench
+  /// aggregates these into p50/p99.
+  const std::vector<double>& modelled_latencies() const { return latencies_; }
+
+  /// This session's private span timeline (nullptr unless the manager was
+  /// configured with session_span_capacity > 0).
+  SpanRecorder* spans() { return spans_ ? spans_.get() : nullptr; }
+
+ private:
+  friend class SessionManager;
+  XdbSession(SessionManager* mgr, int id, size_t span_capacity);
+
+  SessionManager* mgr_;
+  int id_;
+  std::string ddl_prefix_;
+  std::unique_ptr<SpanRecorder> spans_;
+  std::vector<double> latencies_;
+  int64_t plan_cache_hits_ = 0;
+  int64_t failures_ = 0;
+};
+
+/// \brief The multi-tenant serving layer over one XdbSystem (ISSUE 6
+/// tentpole): hands out sessions, enforces admission control, and keeps
+/// fleet-level counters. Thread-safe; typically one per process.
+///
+/// Exposes xdb_sessions_opened_total / xdb_active_sessions /
+/// xdb_inflight_queries through the federation's MetricsRegistry when one
+/// is attached.
+class SessionManager {
+ public:
+  explicit SessionManager(XdbSystem* xdb, ServingOptions options = {});
+
+  /// Opens a new session with a fresh id/namespace. Sessions may outlive
+  /// the manager's other sessions but not the manager itself.
+  std::unique_ptr<XdbSession> OpenSession();
+
+  XdbSystem* system() const { return xdb_; }
+  const ServingOptions& options() const { return options_; }
+
+  int64_t total_queries() const {
+    return total_queries_.load(std::memory_order_relaxed);
+  }
+  int active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class XdbSession;
+
+  /// The one query path: admission -> XdbSystem::Query with the session's
+  /// context -> bookkeeping.
+  Result<XdbReport> Run(XdbSession* session, const std::string& sql,
+                        const std::string& label);
+  void CloseSession();
+
+  void SetGauge(const std::string& name, double value,
+                const std::string& help);
+
+  XdbSystem* xdb_;
+  ServingOptions options_;
+  std::atomic<int> next_session_id_{0};
+  std::atomic<int> active_sessions_{0};
+  std::atomic<int64_t> total_queries_{0};
+
+  // Admission control.
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int inflight_ = 0;
+};
+
+}  // namespace xdb

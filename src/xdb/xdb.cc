@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <optional>
 
+#include "src/common/thread_pool.h"
 #include "src/sql/parser.h"
 #include "src/testing/fault_injector.h"
 #include "src/xdb/annotator.h"
@@ -25,6 +27,31 @@ double NowSeconds() {
       .count();
 }
 
+void HashCombine(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9e3779b97f4a7c15ULL + (*h << 6) + (*h >> 2);
+}
+
+/// Engine profiles are fixed at federation setup, so this hash is computed
+/// once; it exists so a cache carried across reconfigured federations (e.g.
+/// in tests) can never serve a plan annotated under different cost models.
+uint64_t HashProfiles(Federation* fed) {
+  std::hash<std::string> hs;
+  std::hash<double> hd;
+  uint64_t h = 0;
+  for (const auto& name : fed->ServerNames()) {
+    const EngineProfile& p = fed->GetServer(name)->profile();
+    HashCombine(&h, hs(name));
+    HashCombine(&h, hs(p.vendor));
+    for (double c : {p.scan_row_cost, p.join_row_cost, p.agg_row_cost,
+                     p.sort_row_cost, p.materialize_row_cost, p.startup_cost,
+                     p.fetch_row_cost, p.wire_inflation}) {
+      HashCombine(&h, hd(c));
+    }
+    HashCombine(&h, static_cast<uint64_t>(p.parallelism));
+  }
+  return h;
+}
+
 }  // namespace
 
 XdbSystem::XdbSystem(Federation* fed, XdbOptions options)
@@ -44,6 +71,48 @@ XdbSystem::XdbSystem(Federation* fed, XdbOptions options)
     connectors_[name] = std::move(dc);
   }
   catalog_ = std::make_unique<GlobalCatalog>(connector_ptrs_);
+  profile_hash_ = HashProfiles(fed_);
+  if (options_.plan_cache_capacity > 0) {
+    plan_cache_ =
+        std::make_unique<DelegationPlanCache>(options_.plan_cache_capacity);
+  }
+}
+
+std::string XdbSystem::PlacementFingerprint() const {
+  // Everything annotation depends on, cheap enough to recompute per query:
+  // schema/stats versions, engine profiles, placement epoch, and the policy
+  // knobs (constant per system, but a cache moved between systems must not
+  // cross-serve).
+  return "c" + std::to_string(catalog_->catalog_version()) + ":s" +
+         std::to_string(catalog_->stats_version()) + ":p" +
+         std::to_string(profile_hash_) + ":e" +
+         std::to_string(placement_epoch_.load(std::memory_order_acquire)) +
+         ":m" + std::to_string(options_.movement_policy) + ":pl" +
+         std::to_string(static_cast<int>(options_.planner.reorder_joins)) +
+         std::to_string(static_cast<int>(options_.planner.prune_columns)) +
+         std::to_string(static_cast<int>(options_.planner.push_down_filters)) +
+         std::to_string(static_cast<int>(options_.planner.bushy_joins));
+}
+
+void XdbSystem::CountPlanCache(bool hit, int evictions) {
+  MetricsRegistry* metrics = fed_->metrics();
+  if (metrics == nullptr) return;
+  metrics
+      ->GetCounter(hit ? "xdb_plan_cache_hits_total"
+                       : "xdb_plan_cache_misses_total",
+                   {}, hit ? "Delegation-plan cache hits"
+                           : "Delegation-plan cache misses")
+      ->Increment();
+  CountPlanCacheEvictions(evictions);
+}
+
+void XdbSystem::CountPlanCacheEvictions(int evictions) {
+  MetricsRegistry* metrics = fed_->metrics();
+  if (metrics == nullptr || evictions <= 0) return;
+  metrics
+      ->GetCounter("xdb_plan_cache_evictions_total", {},
+                   "Delegation-plan cache evictions (LRU + stale)")
+      ->Increment(evictions);
 }
 
 DbmsConnector* XdbSystem::connector(const std::string& server) const {
@@ -58,13 +127,41 @@ double XdbSystem::Rtt(const std::string& server) const {
 }
 
 Result<XdbReport> XdbSystem::Query(const std::string& sql) {
-  Result<XdbReport> result = QueryImpl(sql);
-  RecordQueryStats(sql, result);
+  return Query(sql, QueryContext{});
+}
+
+Result<XdbReport> XdbSystem::Query(const std::string& sql,
+                                   const QueryContext& ctx) {
+  const int query_id =
+      query_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Tag every morsel this query submits so the shared pool round-robins
+  // fairly across concurrent queries.
+  ScopedQueryTag query_tag(static_cast<uint64_t>(query_id));
+  // A session-scoped span recorder (if any) applies to this thread only.
+  struct SpanOverride {
+    bool set;
+    explicit SpanOverride(SpanRecorder* r) : set(r != nullptr) {
+      if (set) Federation::SetThreadSpanRecorder(r);
+    }
+    ~SpanOverride() {
+      if (set) Federation::SetThreadSpanRecorder(nullptr);
+    }
+  } span_override(ctx.spans);
+
+  RunTrace fail_trace;
+  Result<XdbReport> result = QueryImpl(sql, ctx, query_id, &fail_trace);
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    last_trace_ = result.ok() ? result->trace : fail_trace;
+  }
+  RecordQueryStats(sql, result, fail_trace, ctx.label);
   return result;
 }
 
 void XdbSystem::RecordQueryStats(const std::string& sql,
-                                 const Result<XdbReport>& result) {
+                                 const Result<XdbReport>& result,
+                                 const RunTrace& fail_trace,
+                                 const std::string& label_hint) {
   QueryLog* qlog = fed_->query_log();
   MetricsRegistry* metrics = fed_->metrics();
   if (qlog == nullptr && metrics == nullptr) return;
@@ -75,7 +172,7 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   qs.ok = result.ok();
   // The trace of a failed query is the accumulated recovery trail; a
   // successful one reports its winning round's trace.
-  const RunTrace& trace = result.ok() ? result->trace : last_trace_;
+  const RunTrace& trace = result.ok() ? result->trace : fail_trace;
   qs.useful_bytes = trace.UsefulTransferredBytes();
   qs.wasted_bytes = trace.WastedTransferredBytes();
   qs.transfer_rows = trace.TotalTransferredRows();
@@ -88,6 +185,7 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
     qs.lopt_seconds = result->phases.lopt;
     qs.ann_seconds = result->phases.ann;
     qs.exec_seconds = result->phases.exec;
+    qs.plan_cache_hit = result->plan_cache_hit;
   } else {
     qs.error = result.status().message();
     qs.exec_seconds = trace.wasted_attempt_seconds +
@@ -121,12 +219,16 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
                    });
   if (qs.hot_operators.size() > 3) qs.hot_operators.resize(3);
 
+  // Label priority: explicit QueryContext label (sessions), then the
+  // log's pending next_label (single-threaded bench drivers; consumed by
+  // Record below since qs.label stays empty), then the catch-all bucket.
+  std::string label = label_hint;
+  if (label.empty() && qlog != nullptr) label = qlog->next_label();
+  if (label.empty()) label = "adhoc";
+  qs.label = label_hint;  // empty = let Record consume the pending hint
   if (metrics != nullptr) {
     // `{query=...}` stays bounded: an explicit hint (bench drivers label
     // "Q5" etc.) or the single bucket "adhoc" — never raw SQL.
-    std::string label =
-        qlog != nullptr && !qlog->next_label().empty() ? qlog->next_label()
-                                                       : "adhoc";
     metrics
         ->GetCounter("xdb_queries_total",
                      {{"status", qs.ok ? "ok" : "error"}},
@@ -140,18 +242,18 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   if (qlog != nullptr) qlog->Record(std::move(qs));
 }
 
-Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
+Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
+                                       const QueryContext& ctx, int query_id,
+                                       RunTrace* fail_trace) {
   XdbReport report;
   const double wall_start = NowSeconds();
-  const int query_id = ++query_counter_;
 
   // Reset up front, not at execution start: a query failing in parse or
   // prepare must not report the previous query's recovery trail (or bank
   // its bytes into the query log).
-  last_trace_ = RunTrace();
+  *fail_trace = RunTrace();
 
-  catalog_->ResetCounters();
-  for (auto& [name, dc] : connector_ptrs_) dc->ResetCounters();
+  GlobalCatalog::ResetThreadRoundtrips();
 
   // Observability is opt-in per federation; `spans == nullptr` keeps every
   // hook below at one pointer compare and never changes modelled results.
@@ -165,51 +267,80 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
   SpanGuard query_span(spans, "query " + std::to_string(query_id));
   if (Span* sp = query_span.span()) sp->Tag("sql", sql);
 
-  // --- Preparation: parse/analyze + gather metadata via connectors. ---
-  XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
-  double prep_rtt = 0;
-  // Touch every referenced base table (recursing into derived tables) so
-  // schema + statistics are fetched through the owning DBMS's connector
-  // (cached across queries).
-  std::function<Status(const sql::SelectStmt&)> touch =
-      [&](const sql::SelectStmt& sel) -> Status {
-    for (const auto& ref : sel.from) {
-      if (ref.subquery) {
-        XDB_RETURN_NOT_OK(touch(*ref.subquery));
-        continue;
-      }
-      XDB_RETURN_NOT_OK(catalog_->Resolve(ref.db, ref.table).status());
-      std::string server = catalog_->LocateTable(ref.table);
-      if (!server.empty()) prep_rtt += Rtt(server);
-    }
-    return Status::OK();
-  };
-  XDB_RETURN_NOT_OK(touch(*stmt));
-  report.metadata_roundtrips = catalog_->metadata_roundtrips();
-  report.phases.prep =
-      options_.parse_analyze_cost +
-      report.metadata_roundtrips * options_.metadata_roundtrip_cost +
-      prep_rtt;
-  if (spans != nullptr) {
-    int64_t id = spans->StartSpan("prepare");
-    Span* sp = spans->mutable_span(id);
-    sp->duration_seconds = report.phases.prep;
-    sp->Tag("metadata_roundtrips",
-            static_cast<int64_t>(report.metadata_roundtrips));
-    spans->EndSpan(id);
+  // --- Delegation-plan cache probe. ---
+  // A hit skips parsing, preparation, logical optimization, AND the
+  // annotation consultations of round 0: the cached plan is already
+  // annotated for the current placement (the fingerprint proves it), so
+  // prep/lopt/ann phase costs are genuinely zero.
+  PlanPtr plan;         // un-annotated logical plan (miss path)
+  PlanPtr cached_plan;  // annotated master clone (hit path)
+  std::string norm_sql;
+  std::string fingerprint;
+  bool cache_hit = false;
+  if (plan_cache_ != nullptr) {
+    norm_sql = NormalizeSql(sql);
+    fingerprint = PlacementFingerprint();
+    cached_plan = plan_cache_->Lookup(norm_sql, fingerprint);
+    cache_hit = cached_plan != nullptr;
+    CountPlanCache(cache_hit, /*evictions=*/0);
   }
+  report.plan_cache_hit = cache_hit;
 
-  // --- Logical optimization (pushdowns + left-deep join ordering). ---
-  Planner planner(catalog_.get(), options_.planner);
-  XDB_ASSIGN_OR_RETURN(PlanPtr plan, planner.Plan(*stmt));
-  size_t njoins = stmt->from.size() > 0 ? stmt->from.size() - 1 : 0;
-  report.phases.lopt = options_.lopt_base_cost +
-                       options_.lopt_per_join_cost *
-                           static_cast<double>(njoins);
-  if (spans != nullptr) {
-    int64_t id = spans->StartSpan("logical-optimize");
-    spans->mutable_span(id)->duration_seconds = report.phases.lopt;
-    spans->EndSpan(id);
+  if (cache_hit) {
+    if (spans != nullptr) {
+      int64_t id = spans->StartSpan("plan-cache-hit");
+      spans->mutable_span(id)->Tag("fingerprint", fingerprint);
+      spans->EndSpan(id);
+    }
+  } else {
+    // --- Preparation: parse/analyze + gather metadata via connectors. ---
+    XDB_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql));
+    double prep_rtt = 0;
+    // Touch every referenced base table (recursing into derived tables) so
+    // schema + statistics are fetched through the owning DBMS's connector
+    // (cached across queries).
+    std::function<Status(const sql::SelectStmt&)> touch =
+        [&](const sql::SelectStmt& sel) -> Status {
+      for (const auto& ref : sel.from) {
+        if (ref.subquery) {
+          XDB_RETURN_NOT_OK(touch(*ref.subquery));
+          continue;
+        }
+        XDB_RETURN_NOT_OK(catalog_->Resolve(ref.db, ref.table).status());
+        std::string server = catalog_->LocateTable(ref.table);
+        if (!server.empty()) prep_rtt += Rtt(server);
+      }
+      return Status::OK();
+    };
+    XDB_RETURN_NOT_OK(touch(*stmt));
+    // Thread-scoped count: concurrent sessions sharing the catalog must
+    // each bill exactly their own lazy metadata fetches.
+    report.metadata_roundtrips = GlobalCatalog::ThreadRoundtrips();
+    report.phases.prep =
+        options_.parse_analyze_cost +
+        report.metadata_roundtrips * options_.metadata_roundtrip_cost +
+        prep_rtt;
+    if (spans != nullptr) {
+      int64_t id = spans->StartSpan("prepare");
+      Span* sp = spans->mutable_span(id);
+      sp->duration_seconds = report.phases.prep;
+      sp->Tag("metadata_roundtrips",
+              static_cast<int64_t>(report.metadata_roundtrips));
+      spans->EndSpan(id);
+    }
+
+    // --- Logical optimization (pushdowns + left-deep join ordering). ---
+    Planner planner(catalog_.get(), options_.planner);
+    XDB_ASSIGN_OR_RETURN(plan, planner.Plan(*stmt));
+    size_t njoins = stmt->from.size() > 0 ? stmt->from.size() - 1 : 0;
+    report.phases.lopt = options_.lopt_base_cost +
+                         options_.lopt_per_join_cost *
+                             static_cast<double>(njoins);
+    if (spans != nullptr) {
+      int64_t id = spans->StartSpan("logical-optimize");
+      spans->mutable_span(id)->duration_seconds = report.phases.lopt;
+      spans->EndSpan(id);
+    }
   }
 
   // --- Plan annotation + delegation + execution, with failover. ---
@@ -244,38 +375,57 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
     const int64_t round_span_begin =
         spans != nullptr ? spans->next_id() : 0;
     SpanGuard round_span(spans, "round " + std::to_string(round));
-    PlanPtr round_plan = plan->Clone();
-    Annotator annotator(connector_ptrs_, &fed_->network(),
-                        static_cast<MovementPolicy>(options_.movement_policy),
-                        constraints.empty() ? nullptr : &constraints);
-    Status ann_st;
-    {
-      SpanGuard ann_span(spans, "annotate");
-      ann_st = annotator.Annotate(round_plan.get());
-      if (Span* sp = ann_span.span()) {
-        sp->duration_seconds =
-            annotator.consultations() * options_.consultation_cost;
-        sp->Tag("consultations",
-                static_cast<int64_t>(annotator.consultations()));
+    // Hit path, round 0: the cached clone is already annotated — no
+    // consultations, no "annotate" span. Failover rounds (and the miss
+    // path) annotate a fresh clone against the current constraints; for a
+    // cached plan the annotator simply overwrites the stale placements.
+    PlanPtr round_plan =
+        cache_hit ? cached_plan->Clone() : plan->Clone();
+    const bool need_annotate = !cache_hit || round > 0;
+    if (need_annotate) {
+      Annotator annotator(connector_ptrs_, &fed_->network(),
+                          static_cast<MovementPolicy>(
+                              options_.movement_policy),
+                          constraints.empty() ? nullptr : &constraints);
+      Status ann_st;
+      {
+        SpanGuard ann_span(spans, "annotate");
+        ann_st = annotator.Annotate(round_plan.get());
+        if (Span* sp = ann_span.span()) {
+          sp->duration_seconds =
+              annotator.consultations() * options_.consultation_cost;
+          sp->Tag("consultations",
+                  static_cast<int64_t>(annotator.consultations()));
+        }
       }
-    }
-    report.consultations += annotator.consultations();
-    // Each consultation is one round trip to one of the two candidate
-    // DBMSes.
-    report.phases.ann +=
-        annotator.consultations() * options_.consultation_cost;
-    if (!ann_st.ok()) {
-      // Exclusions emptied the candidate set (kUnavailable) or the plan is
-      // unannotatable outright — either way there is nothing left to try.
-      final_status = std::move(ann_st);
-      break;
+      report.consultations += annotator.consultations();
+      // Each consultation is one round trip to one of the two candidate
+      // DBMSes.
+      report.phases.ann +=
+          annotator.consultations() * options_.consultation_cost;
+      if (!ann_st.ok()) {
+        // Exclusions emptied the candidate set (kUnavailable) or the plan
+        // is unannotatable outright — nothing left to try either way.
+        final_status = std::move(ann_st);
+        break;
+      }
+      // First successful unconstrained annotation: this plan is the one
+      // worth caching (constrained rounds bake failover exclusions into
+      // their placements — never cache those).
+      if (!cache_hit && plan_cache_ != nullptr && round == 0 &&
+          constraints.empty()) {
+        int evicted =
+            plan_cache_->Insert(norm_sql, fingerprint, round_plan->Clone());
+        CountPlanCacheEvictions(evicted);  // the miss was counted at lookup
+      }
     }
 
     // Later rounds get their own name prefix: a fault window may have left
     // the previous round's rollback incomplete, and redeployment must not
     // collide with relations still awaiting cleanup.
-    std::string prefix =
-        round == 0 ? "xdb" : "xdb_r" + std::to_string(round);
+    std::string prefix = round == 0
+                             ? ctx.ddl_prefix
+                             : ctx.ddl_prefix + "_r" + std::to_string(round);
     Result<DelegationPlan> dplan_r =
         FinalizePlan(*round_plan, query_id, prefix);
     if (!dplan_r.ok()) {
@@ -358,7 +508,11 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
         report.result = std::move(result).value();
         report.plan = std::move(dplan);
         report.xdb_query = *xdb_query;
-        last_trace_ = report.trace;
+        if (round > 0) {
+          // Failover changed the placement landscape; retire every cached
+          // plan built before it by advancing the epoch.
+          placement_epoch_.fetch_add(1, std::memory_order_acq_rel);
+        }
 
         if (options_.cleanup_after_query) {
           XDB_RETURN_NOT_OK(engine.Cleanup());
@@ -398,21 +552,23 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
     // root server. No new exclusion means no way to make progress.
     bool progressed = false;
     const FaultInjector* inj = fed_->fault_injector();
-    if (inj != nullptr && inj->last_fault().has_value() &&
-        inj->last_fault()->kind == FaultKind::kLinkDrop &&
-        !inj->last_fault()->peer.empty()) {
+    // Snapshot, not live reference: under concurrent serving another
+    // session's fault may land between reads.
+    std::optional<FaultEvent> fault;
+    if (inj != nullptr) fault = inj->LastFaultSnapshot();
+    if (fault.has_value() && fault->kind == FaultKind::kLinkDrop &&
+        !fault->peer.empty()) {
       progressed = constraints.blocked_links
-                       .insert(PlacementConstraints::LinkKey(
-                           inj->last_fault()->server,
-                           inj->last_fault()->peer))
+                       .insert(PlacementConstraints::LinkKey(fault->server,
+                                                             fault->peer))
                        .second;
     }
     if (!progressed) {
       std::string culprit;
       if (engine.last_failure().has_value()) {
         culprit = engine.last_failure()->server;
-      } else if (inj != nullptr && inj->last_fault().has_value()) {
-        culprit = inj->last_fault()->server;
+      } else if (fault.has_value()) {
+        culprit = fault->server;
       } else {
         culprit = round_root;
       }
@@ -433,7 +589,12 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
   accum.excluded_servers.assign(constraints.excluded_servers.begin(),
                                 constraints.excluded_servers.end());
   fed_->CountReplanRounds(accum.replan_rounds);
-  last_trace_ = std::move(accum);
+  if (!constraints.empty()) {
+    // Even a failed query learned that some placements are bad — cached
+    // plans that might route through them must not be served again.
+    placement_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  *fail_trace = std::move(accum);
   if (final_status.IsRetryable() && !constraints.empty()) {
     std::string unavailable;
     for (const auto& s : constraints.excluded_servers) {
@@ -444,7 +605,7 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql) {
           (unavailable.empty() ? "" : ", ") + a + "<->" + b;
     }
     return Status::Unavailable(
-        "query failed after " + std::to_string(last_trace_.replan_rounds) +
+        "query failed after " + std::to_string(fail_trace->replan_rounds) +
         " failover round(s); unavailable: [" + unavailable +
         "]: " + final_status.message());
   }

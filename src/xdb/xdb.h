@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/connect/connector.h"
@@ -9,6 +11,7 @@
 #include "src/xdb/delegation_engine.h"
 #include "src/xdb/delegation_plan.h"
 #include "src/xdb/global_catalog.h"
+#include "src/xdb/plan_cache.h"
 
 namespace xdb {
 
@@ -44,6 +47,12 @@ struct XdbOptions {
   /// Wall-clock only; modelled times and traces are identical either way.
   int exec_threads = 0;
 
+  /// Delegation-plan cache capacity (entries). 0 (the default) disables
+  /// caching entirely — every query runs the full parse/optimize/annotate
+  /// pipeline, preserving the single-query paths bit-for-bit. The serving
+  /// layer and the qps bench turn it on.
+  size_t plan_cache_capacity = 0;
+
   // Control-plane cost constants (seconds per round trip, on top of link
   // latency). Calibrated so prep+lopt+ann stays in the paper's <=10 s band.
   double parse_analyze_cost = 0.05;
@@ -52,6 +61,24 @@ struct XdbOptions {
   double lopt_per_join_cost = 0.05;
   double consultation_cost = 0.04;   // one EXPLAIN probe on a DBMS
   double ddl_roundtrip_cost = 0.02;  // one DDL statement
+};
+
+/// \brief Per-query execution context supplied by the serving layer.
+/// Defaults reproduce the classic single-tenant behaviour exactly.
+struct QueryContext {
+  /// Prefix for deployed relation names ("xdb" -> xdb_q<id>_t<k>). Sessions
+  /// pass a session-scoped prefix so concurrent deployments cannot collide
+  /// even if query-id allocation ever changes.
+  std::string ddl_prefix = "xdb";
+
+  /// Query-log label (bounded cardinality; e.g. "Q5"). Empty = use the
+  /// log's pending next_label / "adhoc" fallback.
+  std::string label;
+
+  /// Per-session span recorder override (nullptr = federation recorder).
+  /// Installed thread-locally for the duration of the query so concurrent
+  /// sessions each record their own timeline.
+  SpanRecorder* spans = nullptr;
 };
 
 /// \brief Per-phase modelled times, matching the paper's Figure 15 buckets.
@@ -78,6 +105,7 @@ struct XdbReport {
   int metadata_roundtrips = 0;
   int consultations = 0;
   int ddl_statements = 0;
+  bool plan_cache_hit = false;  // annotated plan served from the cache
 
   double total_seconds() const { return phases.total(); }
   double transferred_bytes() const { return trace.TotalTransferredBytes(); }
@@ -104,6 +132,12 @@ class XdbSystem {
   /// bit-identical either way).
   Result<XdbReport> Query(const std::string& sql);
 
+  /// Query() with an explicit serving context (DDL namespace, log label,
+  /// per-session span recorder). Thread-safe: concurrent calls on one
+  /// XdbSystem are supported — each runs on its calling thread with
+  /// thread-local run recording and a query-tagged morsel scheduler.
+  Result<XdbReport> Query(const std::string& sql, const QueryContext& ctx);
+
   /// EXPLAIN ANALYZE at the federation level: runs the query with a
   /// per-operator profiler attached to every component DBMS and returns a
   /// one-column text table — phase breakdown, transfer totals (useful vs.
@@ -116,30 +150,59 @@ class XdbSystem {
   GlobalCatalog& catalog() { return *catalog_; }
   DbmsConnector* connector(const std::string& server) const;
   const XdbOptions& options() const { return options_; }
+  Federation* federation() const { return fed_; }
+
+  /// The delegation-plan cache (nullptr when plan_cache_capacity == 0).
+  DelegationPlanCache* plan_cache() const { return plan_cache_.get(); }
+
+  /// Placement epoch: bumped whenever failover replanning routed around a
+  /// node or link, retiring every cached plan built for the old placement.
+  int64_t placement_epoch() const {
+    return placement_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The cache-key fingerprint current placements hash to (catalog/stats
+  /// versions + engine-profile hash + placement epoch + policy knobs).
+  std::string PlacementFingerprint() const;
 
   /// Trace of the most recent Query() — kept even when Query returned an
   /// error, so the recovery trail (retries, rollbacks, replan rounds) of a
-  /// failed query stays inspectable.
+  /// failed query stays inspectable. Single-threaded inspection API; under
+  /// concurrent serving, "most recent" is whichever query finished last.
   const RunTrace& last_trace() const { return last_trace_; }
 
  private:
   double Rtt(const std::string& server) const;
 
   /// Query() minus the history/metrics bookkeeping (every early return of
-  /// the pipeline funnels through the public wrapper).
-  Result<XdbReport> QueryImpl(const std::string& sql);
+  /// the pipeline funnels through the public wrapper). On failure the
+  /// accumulated recovery trail lands in `*fail_trace`.
+  Result<XdbReport> QueryImpl(const std::string& sql,
+                              const QueryContext& ctx, int query_id,
+                              RunTrace* fail_trace);
 
   /// Banks one QueryStats into the federation's QueryLog and bumps the
   /// labeled query counters. No-op when neither sink is attached.
   void RecordQueryStats(const std::string& sql,
-                        const Result<XdbReport>& result);
+                        const Result<XdbReport>& result,
+                        const RunTrace& fail_trace,
+                        const std::string& label);
+
+  /// Bumps xdb_plan_cache_{hits,misses,evictions}_total when a registry is
+  /// attached (evictions may be 0).
+  void CountPlanCache(bool hit, int evictions);
+  void CountPlanCacheEvictions(int evictions);
 
   Federation* fed_;
   XdbOptions options_;
   std::map<std::string, std::unique_ptr<DbmsConnector>> connectors_;
   std::map<std::string, DbmsConnector*> connector_ptrs_;
   std::unique_ptr<GlobalCatalog> catalog_;
-  int query_counter_ = 0;
+  std::unique_ptr<DelegationPlanCache> plan_cache_;
+  uint64_t profile_hash_ = 0;  // engine profiles are setup-time constant
+  std::atomic<int64_t> placement_epoch_{0};
+  std::atomic<int> query_counter_{0};
+  mutable std::mutex trace_mu_;  // guards last_trace_ under concurrency
   RunTrace last_trace_;
 };
 

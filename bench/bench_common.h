@@ -157,6 +157,14 @@ struct Testbed {
   double paper_sf = kDefaultPaperSf;
 
   Result<XdbReport> Run(SystemKind kind, const std::string& sql) {
+    return Run(kind, sql, SystemName(kind));
+  }
+
+  /// Run recorded under an explicit system label — benches that run one
+  /// system under several configurations (e.g. raw vs columnar wire) give
+  /// each pass its own label so regression keys stay distinct.
+  Result<XdbReport> Run(SystemKind kind, const std::string& sql,
+                        const char* record_as) {
     fed->network().ResetStats();
     // Observability attachments follow the CLI flags; when none were given
     // both stay detached (null-pointer fast path, bit-identical results).
@@ -165,7 +173,7 @@ struct Testbed {
     fed->SetMetricsRegistry(json.metrics());
     fed->SetQueryLog(json.query_log());
     Result<XdbReport> report = RunSystem(kind, sql);
-    if (report.ok()) json.Record(SystemName(kind), sql, *report);
+    if (report.ok()) json.Record(record_as, sql, *report);
     return report;
   }
 

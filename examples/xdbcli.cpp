@@ -11,6 +11,9 @@
 //   \stats          query history: per-query modelled time, bytes, recovery
 //   \stats <label>  per-label drill-down: aggregates, runs, drift events
 //   \metrics        Prometheus exposition of every labeled counter
+//   \wire [fmt]     show or set the transfer format: raw | columnar
+//                   (columnar ships compressed column chunks; \stats and
+//                   \analyze then show encoded bytes + compression ratio)
 //   \quit
 //
 // Run with a SQL script on stdin or interactively:
@@ -67,7 +70,7 @@ int main() {
 
   std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
               "\\ddl <sql>, \\analyze <sql>, \\trace <file>, \\stats, "
-              "\\metrics, \\quit\n");
+              "\\metrics, \\wire, \\quit\n");
 
   std::string line;
   while (true) {
@@ -94,6 +97,22 @@ int main() {
     }
     if (line == "\\metrics") {
       std::printf("%s", metrics.ExposeText().c_str());
+      continue;
+    }
+    if (line == "\\wire" || StartsWith(line, "\\wire ")) {
+      std::string mode = line.size() > 5 ? Trim(line.substr(6)) : "";
+      if (mode == "columnar") {
+        fed->set_wire_format(WireFormat::kColumnar);
+      } else if (mode == "raw") {
+        fed->set_wire_format(WireFormat::kRawRows);
+      } else if (!mode.empty()) {
+        std::printf("usage: \\wire [raw|columnar]\n");
+        continue;
+      }
+      std::printf("wire format: %s\n",
+                  fed->wire_format() == WireFormat::kColumnar
+                      ? "columnar (compressed column chunks)"
+                      : "raw rows");
       continue;
     }
     if (StartsWith(line, "\\trace")) {
@@ -161,10 +180,19 @@ int main() {
     }
     if (!plan_only) {
       std::printf("%s", report->result->ToDisplayString(25).c_str());
-      std::printf("(%zu rows; %.2fs modelled, %.0f bytes moved between "
-                  "DBMSes)\n",
-                  report->result->num_rows(), report->total_seconds(),
-                  report->trace.TotalTransferredBytes());
+      const double moved = report->trace.TotalTransferredBytes();
+      const double raw = report->trace.TotalRawTransferredBytes();
+      if (raw > moved) {
+        std::printf("(%zu rows; %.2fs modelled, %.0f bytes moved between "
+                    "DBMSes — %.0f raw, %.2fx columnar)\n",
+                    report->result->num_rows(), report->total_seconds(),
+                    moved, raw, report->trace.CompressionRatio());
+      } else {
+        std::printf("(%zu rows; %.2fs modelled, %.0f bytes moved between "
+                    "DBMSes)\n",
+                    report->result->num_rows(), report->total_seconds(),
+                    moved);
+      }
     }
   }
   std::printf("bye\n");

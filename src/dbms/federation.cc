@@ -140,6 +140,45 @@ Histogram* Federation::LinkHistogram(const std::string& link) {
   return it->second;
 }
 
+namespace {
+/// Collapses every digit run to '*' so per-query deployed-view names
+/// (xdb_q12_t4, xdb_q12_t7, ...) share one label cell: the gauge tracks
+/// compression per relation *shape*, keeping label cardinality bounded by
+/// the schema rather than by query count.
+std::string NormalizeRelationLabel(const std::string& relation) {
+  std::string out;
+  out.reserve(relation.size());
+  bool in_digits = false;
+  for (char c : relation) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) out.push_back('*');
+      in_digits = true;
+    } else {
+      out.push_back(c);
+      in_digits = false;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Gauge* Federation::CompressionGauge(const std::string& relation) {
+  std::string label = NormalizeRelationLabel(relation);
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  auto it = m_.compression_by_relation.find(label);
+  if (it == m_.compression_by_relation.end()) {
+    it = m_.compression_by_relation
+             .emplace(label,
+                      metrics_->GetGauge(
+                          "xdb_transfer_compression_ratio",
+                          {{"relation", label}},
+                          "Raw/encoded byte ratio of the latest columnar "
+                          "transfer of this relation shape"))
+             .first;
+  }
+  return it->second;
+}
+
 ComputeTrace* Federation::CurrentTrace() {
   RunState& rs = ThreadRun();
   if (!ActiveHere(rs)) return &rs.scratch;
@@ -181,7 +220,8 @@ int Federation::PushFetch(const std::string& src, const std::string& dst,
 }
 
 void Federation::PopFetch(int id, double rows, double bytes,
-                          uint64_t messages, bool materialized) {
+                          uint64_t messages, bool materialized,
+                          double raw_bytes) {
   RunState& rs = ThreadRun();
   Frame frame = std::move(rs.stack.back());
   rs.stack.pop_back();
@@ -209,6 +249,11 @@ void Federation::PopFetch(int id, double rows, double bytes,
   TransferRecord& rec = rs.run.transfers[idx];
   rec.rows = rows;
   rec.bytes = bytes;
+  // Negative raw_bytes means "raw-row transfer": the wire bytes *are* the
+  // row-format bytes. Encoded transfers pass the uncompressed size so the
+  // per-transfer compression is preserved in the trace.
+  rec.raw_bytes = raw_bytes < 0 ? bytes : raw_bytes;
+  rec.encoded = raw_bytes >= 0;
   rec.messages = messages;
   rec.materialized = materialized;
   rec.producer_compute = frame.trace;
@@ -217,6 +262,9 @@ void Federation::PopFetch(int id, double rows, double bytes,
     ServerCell(&m_.fetch_rows_by_server, "xdb_federation_fetch_rows_total",
                rec.src)
         ->Increment(rows);
+    if (rec.encoded && bytes > 0) {
+      CompressionGauge(rec.relation)->Set(rec.raw_bytes / bytes);
+    }
   }
 }
 

@@ -20,6 +20,19 @@ namespace xdb {
 
 class DatabaseServer;
 
+/// \brief How inter-DBMS transfers are shipped on the simulated wire.
+enum class WireFormat : uint8_t {
+  /// Classic row-format text protocol: bytes = sum of row serialized sizes
+  /// times the engine-pair wire inflation. The default; all accounting is
+  /// bit-identical to before the columnar wire existed.
+  kRawRows,
+  /// Compressed column chunks (dictionary/RLE; see ColumnChunk): bytes =
+  /// the table's encoded size, with no text-protocol inflation. Always <=
+  /// the raw-row bytes for the same payload; transfer records additionally
+  /// carry the raw byte count so compression is measurable per transfer.
+  kColumnar,
+};
+
 /// \brief The federation: the set of autonomous DBMS servers plus the
 /// simulated network between them.
 ///
@@ -60,6 +73,12 @@ class Federation {
     network_.set_fault_injector(injector_);
     network_.set_metrics(metrics_);
   }
+
+  /// Wire format for inter-DBMS data transfers (setup-time only; benches
+  /// flip it per testbed pass). Defaults to kRawRows, which keeps every
+  /// byte count bit-identical to the pre-columnar accounting.
+  void set_wire_format(WireFormat format) { wire_format_ = format; }
+  WireFormat wire_format() const { return wire_format_; }
 
   // --- observability (no-ops unless a recorder/registry is attached) ---
 
@@ -159,8 +178,11 @@ class Federation {
 
   /// Closes the transfer record: fills in observed volume and pops the
   /// producer frame (attributing it to `src` in per-server totals).
+  /// `raw_bytes` is the uncompressed row-format byte count when the
+  /// transfer shipped encoded (columnar wire); pass a negative value (the
+  /// default) for raw-row transfers, where it equals `bytes`.
   void PopFetch(int id, double rows, double bytes, uint64_t messages,
-                bool materialized);
+                bool materialized, double raw_bytes = -1);
 
   /// Accounts a small control-plane round trip (metadata, DDL, EXPLAIN).
   void RecordControlMessage(const std::string& a, const std::string& b,
@@ -227,6 +249,10 @@ class Federation {
     std::map<std::string, Counter*> useful_by_link;
     std::map<std::string, Counter*> wasted_by_link;
     std::map<std::string, Histogram*> transfer_bytes_by_link;
+    // Per-relation compression-ratio gauges (columnar wire only). Keyed by
+    // the digit-normalized relation name (xdb_q12_t4 -> xdb_q*_t*) so
+    // deployed-view names don't blow up label cardinality.
+    std::map<std::string, Gauge*> compression_by_relation;
   };
 
   /// Memoized `{server=...}` cell of counter family `name`.
@@ -238,8 +264,12 @@ class Federation {
   /// Memoized `{link=...}` cell of the transfer-bytes histogram.
   Histogram* LinkHistogram(const std::string& link);
 
+  /// Memoized `{relation=...}` gauge of the compression-ratio family.
+  Gauge* CompressionGauge(const std::string& relation);
+
   std::map<std::string, std::unique_ptr<DatabaseServer>> servers_;
   Network network_;
+  WireFormat wire_format_ = WireFormat::kRawRows;
   FaultInjector* injector_ = nullptr;
   SpanRecorder* spans_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;

@@ -21,8 +21,12 @@ struct TransferRecord {
   std::string dst;        // consuming DBMS
   std::string relation;   // remote relation fetched
   double rows = 0;
-  double bytes = 0;       // serialized payload bytes (before wire inflation)
+  double bytes = 0;       // bytes charged on the wire (encoded columnar
+                          // payload when the federation ships compressed)
+  double raw_bytes = 0;   // uncompressed row-format bytes (== bytes unless
+                          // the transfer shipped encoded)
   uint64_t messages = 1;  // batches on the wire
+  bool encoded = false;   // shipped as compressed column chunks
   bool materialized = false;  // consumer wrote it to a local table (CTAS)
   bool failed = false;        // link dropped mid-transfer; bytes were wasted
 
@@ -94,6 +98,19 @@ struct RunTrace {
     double r = 0;
     for (const auto& t : transfers) r += t.rows;
     return r;
+  }
+  /// Row-format bytes the same transfers would have cost uncompressed.
+  /// Equals TotalTransferredBytes() when nothing shipped encoded.
+  double TotalRawTransferredBytes() const {
+    double b = 0;
+    for (const auto& t : transfers) b += t.raw_bytes;
+    return b;
+  }
+  /// raw/encoded byte ratio over the whole run (1.0 when nothing moved or
+  /// nothing shipped encoded).
+  double CompressionRatio() const {
+    const double total = TotalTransferredBytes();
+    return total > 0 ? TotalRawTransferredBytes() / total : 1.0;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "src/dbms/server.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/retry.h"
@@ -56,6 +57,10 @@ Status DatabaseServer::CreateBaseTable(const std::string& table_name,
   CatalogEntry entry;
   entry.kind = EntryKind::kBase;
   entry.stats = ComputeTableStats(*table);
+  // Encode the columnar representation at load time: base tables are what
+  // scans and wire transfers touch, and chunking them here keeps the first
+  // query's hot path free of encode work. Intermediates stay row-only.
+  table->EnsureChunked();
   entry.table = std::move(table);
   std::lock_guard<std::mutex> lock(catalog_mu_);
   if (catalog_.count(key)) {
@@ -153,7 +158,15 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
     TablePtr t = std::move(result).value();
     double inflation = std::max(server_->profile_.wire_inflation,
                                 remote->profile().wire_inflation);
-    double bytes = static_cast<double>(t->SerializedSize()) * inflation;
+    double raw_bytes = static_cast<double>(t->SerializedSize()) * inflation;
+    // Columnar wire: ship the compressed chunk encoding instead of inflated
+    // row text. min() guards the (rare) payload whose encoded form is not
+    // smaller — the sender would just fall back to the row protocol.
+    const bool encoded = fed->wire_format() == WireFormat::kColumnar;
+    double bytes =
+        encoded ? std::min(raw_bytes,
+                           static_cast<double>(t->EncodedSerializedSize()))
+                : raw_bytes;
     double rows = static_cast<double>(t->num_rows());
     uint64_t messages = MessagesFor(rows);
     Status drop = fed->InjectFault(server, FaultOp::kTransfer,
@@ -166,13 +179,17 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
           std::max<uint64_t>(1, static_cast<uint64_t>(
                                     static_cast<double>(messages) *
                                     kLinkDropFraction));
-      fed->network().RecordTransfer(server, server_->name_, wasted, partial);
-      fed->PopFetch(id, 0, wasted, partial, false);
+      fed->network().RecordTransfer(server, server_->name_, wasted, partial,
+                                    encoded);
+      fed->PopFetch(id, 0, wasted, partial, false,
+                    encoded ? raw_bytes * kLinkDropFraction : -1);
       fed->MarkTransferFailed(id);
       return drop;
     }
-    fed->network().RecordTransfer(server, server_->name_, bytes, messages);
-    fed->PopFetch(id, rows, bytes, messages, server_->MaterializingHere());
+    fed->network().RecordTransfer(server, server_->name_, bytes, messages,
+                                  encoded);
+    fed->PopFetch(id, rows, bytes, messages, server_->MaterializingHere(),
+                  encoded ? raw_bytes : -1);
     table = std::move(t);
     return Status::OK();
   };

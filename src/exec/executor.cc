@@ -90,6 +90,22 @@ bool NormalizedJoinKey(const Row& row, const std::vector<int>& key_cols,
   return true;
 }
 
+/// Columnar variant: reads the key bytes straight from the column chunks
+/// (dictionary codes, RLE runs, typed payloads) without materializing
+/// Values. Byte-identical to the row variant — both delegate to the shared
+/// normalized-key primitives in value.cc.
+bool NormalizedJoinKeyChunked(const ChunkedTable& chunks, size_t row,
+                              const std::vector<int>& key_cols,
+                              std::string* key) {
+  key->clear();
+  for (int k : key_cols) {
+    const ColumnChunk& c = chunks.column(static_cast<size_t>(k));
+    if (c.IsNull(row)) return false;
+    c.AppendNormalizedKey(row, key);
+  }
+  return true;
+}
+
 /// \brief Hash-partitioned join build table.
 ///
 /// Build rows are partitioned by the hash of their normalized key and each
@@ -119,7 +135,8 @@ struct PartitionedJoinTable {
 
 PartitionedJoinTable BuildJoinTable(const Table& build,
                                     const std::vector<int>& build_keys,
-                                    int workers) {
+                                    int workers,
+                                    const ChunkedTable* chunks) {
   const size_t n = build.num_rows();
   PartitionedJoinTable ht;
   ht.num_partitions =
@@ -127,7 +144,8 @@ PartitionedJoinTable BuildJoinTable(const Table& build,
   ht.parts.resize(ht.num_partitions);
 
   // Phase 1 (morsel-parallel): serialize every row's normalized key once and
-  // bucket row indices by target partition, per morsel.
+  // bucket row indices by target partition, per morsel. When the build side
+  // has a columnar mirror (base tables), keys come straight from the chunks.
   const size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
   std::vector<std::string> keys(n);
   std::vector<std::vector<std::vector<uint32_t>>> morsel_buckets(num_morsels);
@@ -136,9 +154,13 @@ PartitionedJoinTable BuildJoinTable(const Table& build,
                 auto& buckets = morsel_buckets[m];
                 buckets.resize(ht.num_partitions);
                 for (size_t i = begin; i < end; ++i) {
-                  if (!NormalizedJoinKey(build.row(i), build_keys, &keys[i])) {
-                    continue;  // NULL key columns never match
-                  }
+                  const bool ok =
+                      chunks != nullptr
+                          ? NormalizedJoinKeyChunked(*chunks, i, build_keys,
+                                                     &keys[i])
+                          : NormalizedJoinKey(build.row(i), build_keys,
+                                              &keys[i]);
+                  if (!ok) continue;  // NULL key columns never match
                   buckets[PartitionedJoinTable::PartitionOf(
                               keys[i], ht.num_partitions)]
                       .push_back(static_cast<uint32_t>(i));
@@ -277,11 +299,19 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
     s->batches = MorselCount(probe.num_rows(), kMorselRows);
   }
 
-  const PartitionedJoinTable ht = BuildJoinTable(build, build_keys, workers);
+  // Columnar mirrors (present on base tables, encoded at load time) feed
+  // key extraction directly; the shared_ptrs keep them alive across the
+  // parallel regions.
+  const std::shared_ptr<const ChunkedTable> build_chunks = build.chunked();
+  const std::shared_ptr<const ChunkedTable> probe_chunks = probe.chunked();
+  const ChunkedTable* pc = probe_chunks.get();
+
+  const PartitionedJoinTable ht =
+      BuildJoinTable(build, build_keys, workers, build_chunks.get());
 
   // Probe runs per-morsel; the partitioned build table is shared read-only.
   // Each morsel first extracts all its probe keys in one batch pass (one
-  // Value::AppendNormalizedKey sweep), then probes.
+  // normalized-key sweep over rows or chunks), then probes.
   MorselParallelAppend(
       workers, probe.num_rows(), out.get(),
       [&](size_t begin, size_t end, std::vector<Row>* buf) {
@@ -290,7 +320,11 @@ Result<TablePtr> ExecJoin(const PlanNode& plan, ExecContext* ctx,
         std::vector<uint8_t> valid(m);
         for (size_t i = begin; i < end; ++i) {
           valid[i - begin] =
-              NormalizedJoinKey(probe.row(i), probe_keys, &keys[i - begin]);
+              pc != nullptr
+                  ? NormalizedJoinKeyChunked(*pc, i, probe_keys,
+                                             &keys[i - begin])
+                  : NormalizedJoinKey(probe.row(i), probe_keys,
+                                      &keys[i - begin]);
         }
         std::vector<Row> cand;
         for (size_t i = begin; i < end; ++i) {
@@ -327,6 +361,25 @@ Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
   const size_t naggs = plan.aggregates.size();
   const size_t n = input->num_rows();
 
+  // Code-space group keys: when the input has a columnar mirror and every
+  // group key is a plain column reference, normalized key bytes come
+  // straight from the chunks (dictionary codes / RLE runs / typed payloads)
+  // and the representative key values materialize only when a group is
+  // first seen — identical values, since the representative is always the
+  // group's first row either way.
+  const std::shared_ptr<const ChunkedTable> chunks_sp = input->chunked();
+  const ChunkedTable* chunks = chunks_sp.get();
+  bool chunked_keys = chunks != nullptr && nkeys > 0;
+  if (chunked_keys) {
+    for (const auto& g : plan.group_keys) {
+      if (g->kind != ExprKind::kColumnRef || g->column_index < 0 ||
+          static_cast<size_t>(g->column_index) >= chunks->num_columns()) {
+        chunked_keys = false;
+        break;
+      }
+    }
+  }
+
   // Partial aggregation over fixed row ranges, merged in range order. The
   // range cut depends only on n, so accumulation order — and with it every
   // SUM/AVG double — is identical for any worker count.
@@ -346,16 +399,38 @@ Result<TablePtr> ExecAggregate(const PlanNode& plan, ExecContext* ctx,
     for (size_t r = begin; r < end; ++r) {
       const Row& row = input->row(r);
       norm.clear();
-      Row key_vals;
-      key_vals.reserve(nkeys);
-      for (const auto& g : plan.group_keys) {
-        key_vals.push_back(EvalExpr(*g, row));
-        key_vals.back().AppendNormalizedKey(&norm);
-      }
-      auto [it, inserted] = groups.try_emplace(norm);
-      if (inserted) {
-        it->second.key = std::move(key_vals);
-        it->second.states.resize(naggs);
+      GroupMap::iterator it;
+      if (chunked_keys) {
+        for (const auto& g : plan.group_keys) {
+          chunks->column(static_cast<size_t>(g->column_index))
+              .AppendNormalizedKey(r, &norm);
+        }
+        auto res = groups.try_emplace(norm);
+        it = res.first;
+        if (res.second) {
+          Row key_vals;
+          key_vals.reserve(nkeys);
+          for (const auto& g : plan.group_keys) {
+            key_vals.push_back(
+                chunks->column(static_cast<size_t>(g->column_index))
+                    .GetValue(r));
+          }
+          it->second.key = std::move(key_vals);
+          it->second.states.resize(naggs);
+        }
+      } else {
+        Row key_vals;
+        key_vals.reserve(nkeys);
+        for (const auto& g : plan.group_keys) {
+          key_vals.push_back(EvalExpr(*g, row));
+          key_vals.back().AppendNormalizedKey(&norm);
+        }
+        auto res = groups.try_emplace(norm);
+        it = res.first;
+        if (res.second) {
+          it->second.key = std::move(key_vals);
+          it->second.states.resize(naggs);
+        }
       }
       for (size_t a = 0; a < naggs; ++a) {
         const Expr& agg = *plan.aggregates[a];
@@ -484,13 +559,17 @@ Result<TablePtr> ExecutePlanNode(const PlanNode& plan, ExecContext* ctx) {
         s->batches = MorselCount(in->num_rows(), kMorselRows);
       }
       auto out = std::make_shared<Table>(plan.output_schema);
+      // Base tables carry a columnar mirror: predicates then gather typed
+      // payloads (or compare dictionary codes) instead of boxing Values.
+      const auto chunks = in->chunked();
+      const RowBlock block{&in->rows(), chunks.get()};
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
           [&](size_t begin, size_t end, std::vector<Row>* buf) {
             buf->reserve(end - begin);
             SelVector sel;
             SelRange(begin, end, &sel);
-            EvalPredicateBatch(*plan.predicate, in->rows(), &sel);
+            EvalPredicateBatch(*plan.predicate, block, &sel);
             for (uint32_t i : sel) buf->push_back(in->row(i));
           });
       return out;
@@ -503,6 +582,8 @@ Result<TablePtr> ExecutePlanNode(const PlanNode& plan, ExecContext* ctx) {
         s->batches = MorselCount(in->num_rows(), kMorselRows);
       }
       auto out = std::make_shared<Table>(plan.output_schema);
+      const auto chunks = in->chunked();
+      const RowBlock block{&in->rows(), chunks.get()};
       MorselParallelAppend(
           ctx->exec_threads(), in->num_rows(), out.get(),
           [&](size_t begin, size_t end, std::vector<Row>* buf) {
@@ -514,7 +595,7 @@ Result<TablePtr> ExecutePlanNode(const PlanNode& plan, ExecContext* ctx) {
             // transpose the column vectors into output rows.
             std::vector<std::vector<Value>> cols(plan.exprs.size());
             for (size_t c = 0; c < plan.exprs.size(); ++c) {
-              EvalExprBatch(*plan.exprs[c], in->rows(), sel, &cols[c]);
+              EvalExprBatch(*plan.exprs[c], block, sel, &cols[c]);
             }
             for (size_t i = 0; i < m; ++i) {
               Row projected;

@@ -11,22 +11,26 @@ namespace {
 ///
 /// Numeric lanes live unboxed in payload arrays (`i64` for the int64-payload
 /// type class bool/int64/date, `f64` for double) with a side NULL mask;
-/// everything else (strings, mixed-type columns, fallback results) is boxed
-/// as full Values. `type` is the lane type of non-NULL lanes and `null_type`
-/// the type tag a NULL lane materializes with — kept separately because the
-/// scalar evaluator types NULLs by operator, not by operand (arithmetic
-/// yields Null(kDouble) even over int64 inputs), and bit-identity includes
-/// the NULL's type tag.
+/// dictionary-encoded string columns stay in code space (`dict` + `codes`);
+/// everything else (plain strings, mixed-type columns, fallback results) is
+/// boxed as full Values. `type` is the lane type of non-NULL lanes and
+/// `null_type` the type tag a NULL lane materializes with — kept separately
+/// because the scalar evaluator types NULLs by operator, not by operand
+/// (arithmetic yields Null(kDouble) even over int64 inputs), and bit-identity
+/// includes the NULL's type tag.
 struct Vec {
-  enum class Repr : uint8_t { kI64, kF64, kBoxed };
+  enum class Repr : uint8_t { kI64, kF64, kDict, kBoxed };
 
   Repr repr = Repr::kBoxed;
   TypeId type = TypeId::kInt64;
   TypeId null_type = TypeId::kInt64;
-  std::vector<uint8_t> nulls;  // 1 = NULL; sized to lanes for kI64/kF64
+  bool uniform = false;  // all lanes hold the same value (literal splat)
+  std::vector<uint8_t> nulls;  // 1 = NULL; sized to lanes except kBoxed
   std::vector<int64_t> i64;
   std::vector<double> f64;
   std::vector<Value> boxed;
+  const std::vector<std::string>* dict = nullptr;  // kDict: borrowed from
+  std::vector<uint32_t> codes;                     // the source ColumnChunk
 
   size_t lanes() const {
     return repr == Repr::kBoxed ? boxed.size() : nulls.size();
@@ -42,6 +46,7 @@ Value LaneValue(const Vec& v, size_t i) {
   if (v.repr == Vec::Repr::kBoxed) return v.boxed[i];
   if (v.nulls[i]) return Value::Null(v.null_type);
   if (v.repr == Vec::Repr::kF64) return Value::Double(v.f64[i]);
+  if (v.repr == Vec::Repr::kDict) return Value::String((*v.dict)[v.codes[i]]);
   switch (v.type) {
     case TypeId::kBool: return Value::Bool(v.i64[i] != 0);
     case TypeId::kDate: return Value::Date(v.i64[i]);
@@ -51,7 +56,8 @@ Value LaneValue(const Vec& v, size_t i) {
 
 /// Three-valued truth of a lane, matching `!v.is_null() && v.bool_value()`
 /// plus the NULL case. Note Value::bool_value() reads the int64 payload, so a
-/// double lane is never TRUE — the f64 repr mirrors that quirk exactly.
+/// double or string lane is never TRUE — the f64/dict reprs mirror that quirk
+/// exactly.
 enum class Truth : uint8_t { kFalse, kTrue, kNull };
 
 Truth LaneTruth(const Vec& v, size_t i) {
@@ -59,6 +65,7 @@ Truth LaneTruth(const Vec& v, size_t i) {
   switch (v.repr) {
     case Vec::Repr::kI64: return v.i64[i] != 0 ? Truth::kTrue : Truth::kFalse;
     case Vec::Repr::kF64: return Truth::kFalse;
+    case Vec::Repr::kDict: return Truth::kFalse;
     case Vec::Repr::kBoxed:
       return v.boxed[i].bool_value() ? Truth::kTrue : Truth::kFalse;
   }
@@ -69,13 +76,13 @@ bool IsI64Class(TypeId t) {
   return t == TypeId::kBool || t == TypeId::kInt64 || t == TypeId::kDate;
 }
 
-Vec EvalVec(const Expr& expr, const std::vector<Row>& rows,
-            const SelVector& sel);
+Vec EvalVec(const Expr& expr, const RowBlock& b, const SelVector& sel);
 
 /// Whole-subtree fallback: scalar-evaluates the node per selected row. Any
 /// shape without a typed kernel lands here, which makes batch coverage total.
-Vec EvalVecScalarFallback(const Expr& expr, const std::vector<Row>& rows,
+Vec EvalVecScalarFallback(const Expr& expr, const RowBlock& b,
                           const SelVector& sel) {
+  const std::vector<Row>& rows = *b.rows;
   Vec out;
   out.repr = Vec::Repr::kBoxed;
   out.boxed.reserve(sel.size());
@@ -83,10 +90,103 @@ Vec EvalVecScalarFallback(const Expr& expr, const std::vector<Row>& rows,
   return out;
 }
 
-Vec GatherColumn(const Expr& expr, const std::vector<Row>& rows,
-                 const SelVector& sel) {
+/// Gather from the columnar mirror: typed payloads load without per-lane type
+/// checks (the chunk encoder already proved lane uniformity), RLE runs decode
+/// with a forward cursor, dictionary columns stay in code space.
+Vec GatherChunkColumn(const ColumnChunk& chunk, const SelVector& sel) {
+  const size_t n = sel.size();
+  const TypeId t = chunk.type();
+  Vec out;
+  out.type = t;
+  out.null_type = t;
+  switch (chunk.encoding()) {
+    case ColumnEncoding::kPlain: {
+      out.nulls.resize(n);
+      const std::vector<uint8_t>& cn = chunk.null_bytemap();
+      if (t == TypeId::kDouble) {
+        out.repr = Vec::Repr::kF64;
+        out.f64.resize(n);
+        const std::vector<double>& payload = chunk.f64_data();
+        for (size_t i = 0; i < n; ++i) {
+          out.f64[i] = payload[sel[i]];
+          out.nulls[i] = cn.empty() ? 0 : cn[sel[i]];
+        }
+        return out;
+      }
+      out.repr = Vec::Repr::kI64;
+      out.i64.resize(n);
+      const std::vector<int64_t>& payload = chunk.i64_data();
+      for (size_t i = 0; i < n; ++i) {
+        out.i64[i] = payload[sel[i]];
+        out.nulls[i] = cn.empty() ? 0 : cn[sel[i]];
+      }
+      return out;
+    }
+    case ColumnEncoding::kRle: {
+      // Null-free by construction; selection vectors are ascending, so one
+      // forward cursor walks the runs (with a reset guard just in case).
+      out.repr = Vec::Repr::kI64;
+      out.nulls.assign(n, 0);
+      out.i64.resize(n);
+      const std::vector<uint32_t>& starts = chunk.run_starts();
+      const std::vector<int64_t>& vals = chunk.run_values();
+      size_t run = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = sel[i];
+        if (i > 0 && r < sel[i - 1]) run = 0;
+        while (run + 1 < starts.size() && starts[run + 1] <= r) ++run;
+        out.i64[i] = vals[run];
+      }
+      return out;
+    }
+    case ColumnEncoding::kFor: {
+      out.repr = Vec::Repr::kI64;
+      out.nulls.resize(n);
+      out.i64.resize(n);
+      const std::vector<uint8_t>& cn = chunk.null_bytemap();
+      const std::vector<uint32_t>& codes = chunk.codes();
+      const uint64_t ref = static_cast<uint64_t>(chunk.for_ref());
+      for (size_t i = 0; i < n; ++i) {
+        out.i64[i] = static_cast<int64_t>(ref + codes[sel[i]]);
+        out.nulls[i] = cn.empty() ? 0 : cn[sel[i]];
+      }
+      return out;
+    }
+    case ColumnEncoding::kDictionary: {
+      out.repr = Vec::Repr::kDict;
+      out.dict = &chunk.dict();
+      out.nulls.resize(n);
+      out.codes.resize(n);
+      const std::vector<uint8_t>& cn = chunk.null_bytemap();
+      const std::vector<uint32_t>& codes = chunk.codes();
+      for (size_t i = 0; i < n; ++i) {
+        out.codes[i] = codes[sel[i]];
+        out.nulls[i] = cn.empty() ? 0 : cn[sel[i]];
+      }
+      return out;
+    }
+    case ColumnEncoding::kBoxed:
+      break;  // caller falls back to the row gather
+  }
+  out.repr = Vec::Repr::kBoxed;
+  const std::vector<Value>& boxed = chunk.boxed();
+  out.boxed.reserve(n);
+  for (uint32_t r : sel) out.boxed.push_back(boxed[r]);
+  return out;
+}
+
+Vec GatherColumn(const Expr& expr, const RowBlock& b, const SelVector& sel) {
   const size_t col = static_cast<size_t>(expr.column_index);
   const TypeId t = expr.column_type;
+  if (b.chunks != nullptr && col < b.chunks->num_columns()) {
+    const ColumnChunk& chunk = b.chunks->column(col);
+    // Plain strings gain nothing over the row gather; everything else does.
+    if (chunk.type() == t && !(chunk.encoding() == ColumnEncoding::kPlain &&
+                               t == TypeId::kString)) {
+      return GatherChunkColumn(chunk, sel);
+    }
+  }
+  const std::vector<Row>& rows = *b.rows;
   Vec out;
   out.type = t;
   out.null_type = t;
@@ -123,6 +223,7 @@ Vec GatherColumn(const Expr& expr, const std::vector<Row>& rows,
 
 Vec SplatLiteral(const Value& lit, size_t n) {
   Vec out;
+  out.uniform = true;
   if (!lit.is_null() && IsI64Class(lit.type())) {
     out.repr = Vec::Repr::kI64;
     out.type = out.null_type = lit.type();
@@ -153,7 +254,7 @@ double LaneAsDouble(const Vec& v, size_t i) {
 
 /// Arithmetic over two evaluated operand vectors. Typed loops mirror
 /// EvalBinaryValues' int/double promotion exactly; shapes the loops don't
-/// cover (dates, strings, boxed lanes) combine per lane through
+/// cover (dates, strings, boxed/dict lanes) combine per lane through
 /// EvalBinaryValues itself.
 Vec EvalArithVec(BinaryOp op, const Vec& l, const Vec& r) {
   const size_t n = l.lanes();
@@ -263,6 +364,40 @@ Vec EvalCompareVec(BinaryOp op, const Vec& l, const Vec& r) {
     }
     return out;
   }
+  // Dictionary-code kernel: comparing a dict column against a uniform
+  // (literal) operand translates the literal into a per-dictionary-entry
+  // verdict table once, then each lane is a code lookup — no string compare,
+  // no Value materialization. Value::Compare's verdict depends only on the
+  // entry and the literal, so the table is exact (including mixed-type
+  // ordering when the literal is not a string).
+  {
+    const Vec* dv = nullptr;
+    const Vec* lit = nullptr;
+    bool dict_left = false;
+    if (l.repr == Vec::Repr::kDict && r.uniform) {
+      dv = &l; lit = &r; dict_left = true;
+    } else if (r.repr == Vec::Repr::kDict && l.uniform) {
+      dv = &r; lit = &l;
+    }
+    if (dv != nullptr && n > 0 && !lit->IsNullLane(0)) {
+      const Value litv = LaneValue(*lit, 0);
+      const std::vector<std::string>& dict = *dv->dict;
+      std::vector<uint8_t> match(dict.size());
+      for (size_t k = 0; k < dict.size(); ++k) {
+        const Value entry = Value::String(dict[k]);
+        const int c = dict_left ? entry.Compare(litv) : litv.Compare(entry);
+        match[k] = static_cast<uint8_t>(CmpResult(op, c));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (dv->nulls[i]) {
+          out.nulls[i] = 1;
+          continue;
+        }
+        out.i64[i] = match[dv->codes[i]];
+      }
+      return out;
+    }
+  }
   // Boxed/mixed lanes: NULL-check + Value::Compare per lane, exactly the
   // scalar default branch, on the already-evaluated operands.
   for (size_t i = 0; i < n; ++i) {
@@ -280,11 +415,10 @@ Vec EvalCompareVec(BinaryOp op, const Vec& l, const Vec& r) {
 /// evaluated only on lanes the left child did not already decide (non-null
 /// FALSE decides AND; non-null TRUE decides OR), then scattered back.
 /// Lane-wise combination follows the scalar three-valued truth table.
-Vec EvalAndOrVec(const Expr& expr, const std::vector<Row>& rows,
-                 const SelVector& sel) {
+Vec EvalAndOrVec(const Expr& expr, const RowBlock& b, const SelVector& sel) {
   const bool is_and = expr.binary_op == BinaryOp::kAnd;
   const size_t n = sel.size();
-  Vec left = EvalVec(*expr.children[0], rows, sel);
+  Vec left = EvalVec(*expr.children[0], b, sel);
 
   SelVector sub_sel;
   std::vector<uint32_t> sub_pos;
@@ -308,7 +442,7 @@ Vec EvalAndOrVec(const Expr& expr, const std::vector<Row>& rows,
   out.i64.assign(n, is_and ? 0 : 1);
 
   if (!sub_sel.empty()) {
-    Vec right = EvalVec(*expr.children[1], rows, sub_sel);
+    Vec right = EvalVec(*expr.children[1], b, sub_sel);
     for (size_t s = 0; s < sub_sel.size(); ++s) {
       const size_t i = sub_pos[s];
       const Truth lt = LaneTruth(left, i);
@@ -332,9 +466,8 @@ Vec EvalAndOrVec(const Expr& expr, const std::vector<Row>& rows,
   return out;
 }
 
-Vec EvalUnaryVec(const Expr& expr, const std::vector<Row>& rows,
-                 const SelVector& sel) {
-  Vec child = EvalVec(*expr.children[0], rows, sel);
+Vec EvalUnaryVec(const Expr& expr, const RowBlock& b, const SelVector& sel) {
+  Vec child = EvalVec(*expr.children[0], b, sel);
   const size_t n = child.lanes();
   Vec out;
   switch (expr.unary_op) {
@@ -396,11 +529,10 @@ Vec EvalUnaryVec(const Expr& expr, const std::vector<Row>& rows,
   return out;
 }
 
-Vec EvalBetweenVec(const Expr& expr, const std::vector<Row>& rows,
-                   const SelVector& sel) {
-  Vec v = EvalVec(*expr.children[0], rows, sel);
-  Vec lo = EvalVec(*expr.children[1], rows, sel);
-  Vec hi = EvalVec(*expr.children[2], rows, sel);
+Vec EvalBetweenVec(const Expr& expr, const RowBlock& b, const SelVector& sel) {
+  Vec v = EvalVec(*expr.children[0], b, sel);
+  Vec lo = EvalVec(*expr.children[1], b, sel);
+  Vec hi = EvalVec(*expr.children[2], b, sel);
   const size_t n = v.lanes();
   Vec out;
   out.repr = Vec::Repr::kI64;
@@ -440,21 +572,20 @@ Vec EvalBetweenVec(const Expr& expr, const std::vector<Row>& rows,
   return out;
 }
 
-Vec EvalVec(const Expr& expr, const std::vector<Row>& rows,
-            const SelVector& sel) {
+Vec EvalVec(const Expr& expr, const RowBlock& b, const SelVector& sel) {
   switch (expr.kind) {
     case ExprKind::kColumnRef:
-      return GatherColumn(expr, rows, sel);
+      return GatherColumn(expr, b, sel);
     case ExprKind::kLiteral:
       return SplatLiteral(expr.literal, sel.size());
     case ExprKind::kBinary:
       if (expr.binary_op == BinaryOp::kAnd ||
           expr.binary_op == BinaryOp::kOr) {
-        return EvalAndOrVec(expr, rows, sel);
+        return EvalAndOrVec(expr, b, sel);
       }
       {
-        Vec l = EvalVec(*expr.children[0], rows, sel);
-        Vec r = EvalVec(*expr.children[1], rows, sel);
+        Vec l = EvalVec(*expr.children[0], b, sel);
+        Vec r = EvalVec(*expr.children[1], b, sel);
         switch (expr.binary_op) {
           case BinaryOp::kAdd:
           case BinaryOp::kSub:
@@ -466,12 +597,12 @@ Vec EvalVec(const Expr& expr, const std::vector<Row>& rows,
         }
       }
     case ExprKind::kUnary:
-      return EvalUnaryVec(expr, rows, sel);
+      return EvalUnaryVec(expr, b, sel);
     case ExprKind::kBetween:
-      return EvalBetweenVec(expr, rows, sel);
+      return EvalBetweenVec(expr, b, sel);
     default:
       // LIKE, IN, CASE, functions, (mis-planned) aggregates.
-      return EvalVecScalarFallback(expr, rows, sel);
+      return EvalVecScalarFallback(expr, b, sel);
   }
 }
 
@@ -485,9 +616,9 @@ void SelRange(size_t begin, size_t end, SelVector* sel) {
   }
 }
 
-void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
+void EvalExprBatch(const Expr& expr, const RowBlock& block,
                    const SelVector& sel, std::vector<Value>* out) {
-  Vec v = EvalVec(expr, rows, sel);
+  Vec v = EvalVec(expr, block, sel);
   out->reserve(out->size() + sel.size());
   if (v.repr == Vec::Repr::kBoxed) {
     for (auto& val : v.boxed) out->push_back(std::move(val));
@@ -496,23 +627,33 @@ void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
   for (size_t i = 0; i < v.lanes(); ++i) out->push_back(LaneValue(v, i));
 }
 
-void EvalPredicateBatch(const Expr& expr, const std::vector<Row>& rows,
+void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
+                   const SelVector& sel, std::vector<Value>* out) {
+  EvalExprBatch(expr, RowBlock{&rows, nullptr}, sel, out);
+}
+
+void EvalPredicateBatch(const Expr& expr, const RowBlock& block,
                         SelVector* sel) {
   if (sel->empty()) return;
   // Conjunction = selection intersection: the left conjunct shrinks the
   // selection, the right conjunct never sees rejected rows. (NULL and FALSE
   // both reject, exactly like scalar EvalPredicate on an AND.)
   if (expr.kind == ExprKind::kBinary && expr.binary_op == BinaryOp::kAnd) {
-    EvalPredicateBatch(*expr.children[0], rows, sel);
-    EvalPredicateBatch(*expr.children[1], rows, sel);
+    EvalPredicateBatch(*expr.children[0], block, sel);
+    EvalPredicateBatch(*expr.children[1], block, sel);
     return;
   }
-  Vec v = EvalVec(expr, rows, *sel);
+  Vec v = EvalVec(expr, block, *sel);
   size_t kept = 0;
   for (size_t i = 0; i < sel->size(); ++i) {
     if (LaneTruth(v, i) == Truth::kTrue) (*sel)[kept++] = (*sel)[i];
   }
   sel->resize(kept);
+}
+
+void EvalPredicateBatch(const Expr& expr, const std::vector<Row>& rows,
+                        SelVector* sel) {
+  EvalPredicateBatch(expr, RowBlock{&rows, nullptr}, sel);
 }
 
 }  // namespace xdb

@@ -16,6 +16,18 @@ using SelVector = std::vector<uint32_t>;
 /// Fills `sel` with [begin, end) — the dense selection a morsel starts from.
 void SelRange(size_t begin, size_t end, SelVector* sel);
 
+/// \brief Input span for the batch evaluator: the row vector plus an optional
+/// columnar mirror of the same data (Table::chunked()). When `chunks` is set,
+/// column-ref gathers read the typed column vectors directly — plain columns
+/// load unboxed payloads without per-lane type checks, RLE columns decode
+/// runs, and dictionary columns stay in code space so comparisons against a
+/// literal translate the literal once per dictionary instead of per lane.
+/// Results are bit-identical to the row path either way.
+struct RowBlock {
+  const std::vector<Row>* rows = nullptr;
+  const ChunkedTable* chunks = nullptr;
+};
+
 /// \brief Evaluates a bound, aggregate-free expression over every selected
 /// row, appending one Value per selection lane to `out` (out->size() grows by
 /// sel.size(); lane i corresponds to rows[sel[i]]).
@@ -27,6 +39,8 @@ void SelRange(size_t begin, size_t end, SelVector* sel);
 /// comparisons, AND/OR, NOT/negate/IS NULL, BETWEEN) run typed inner loops
 /// over unboxed payload arrays; everything else falls back to the scalar
 /// evaluator per selected row, so coverage is total.
+void EvalExprBatch(const Expr& expr, const RowBlock& block,
+                   const SelVector& sel, std::vector<Value>* out);
 void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
                    const SelVector& sel, std::vector<Value>* out);
 
@@ -37,6 +51,8 @@ void EvalExprBatch(const Expr& expr, const std::vector<Row>& rows,
 /// Top-level AND short-circuits by selection-vector intersection: the left
 /// conjunct shrinks `sel`, and the right conjunct is only evaluated on the
 /// survivors.
+void EvalPredicateBatch(const Expr& expr, const RowBlock& block,
+                        SelVector* sel);
 void EvalPredicateBatch(const Expr& expr, const std::vector<Row>& rows,
                         SelVector* sel);
 

@@ -163,6 +163,7 @@ void MediatorSystem::RecordQueryStats(const std::string& sql,
     qs.exec_seconds = rep.phases.exec;
     qs.useful_bytes = rep.trace.UsefulTransferredBytes();
     qs.wasted_bytes = rep.trace.WastedTransferredBytes();
+    qs.raw_bytes = rep.trace.TotalRawTransferredBytes();
     qs.transfer_rows = rep.trace.TotalTransferredRows();
     qs.transfers = static_cast<int>(rep.trace.transfers.size());
     qs.retries = static_cast<int>(rep.trace.retries.size());

@@ -62,19 +62,24 @@ void Network::set_metrics(MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(*mu_);
   metrics_ = registry;
   metric_by_link_.clear();
+  metric_encoded_by_link_.clear();
   if (registry == nullptr) {
     metric_bytes_ = nullptr;
     metric_messages_ = nullptr;
+    metric_encoded_ = nullptr;
     return;
   }
   metric_bytes_ = registry->GetCounter(
       "xdb_network_bytes_total", "Bytes put on the wire (all links)");
   metric_messages_ = registry->GetCounter(
       "xdb_network_messages_total", "Messages put on the wire (all links)");
+  metric_encoded_ = registry->GetCounter(
+      "xdb_network_encoded_bytes_total",
+      "Bytes shipped as compressed column chunks (all links)");
 }
 
 void Network::RecordTransfer(const std::string& src, const std::string& dst,
-                             double bytes, uint64_t messages) {
+                             double bytes, uint64_t messages, bool encoded) {
   std::lock_guard<std::mutex> lock(*mu_);
   bool src_ok = CheckNodeKnown(src);
   if (!CheckNodeKnown(dst) || !src_ok) return;
@@ -98,6 +103,18 @@ void Network::RecordTransfer(const std::string& src, const std::string& dst,
     }
     it->second.first->Increment(bytes);
     it->second.second->Increment(static_cast<double>(messages));
+    if (encoded) {
+      metric_encoded_->Increment(bytes);
+      auto eit = metric_encoded_by_link_.find(link);
+      if (eit == metric_encoded_by_link_.end()) {
+        eit = metric_encoded_by_link_
+                  .emplace(link, metrics_->GetCounter(
+                                     "xdb_network_encoded_bytes_total",
+                                     {{"link", link}}))
+                  .first;
+      }
+      eit->second->Increment(bytes);
+    }
   }
 }
 

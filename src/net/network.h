@@ -71,9 +71,13 @@ class Network {
 
   /// Records a directed transfer. Transfers naming an unregistered node
   /// are rejected (recorded as violations, not counted) so typos cannot
-  /// skew Figure-14-style byte accounting.
+  /// skew Figure-14-style byte accounting. `encoded` marks payloads shipped
+  /// as compressed column chunks: the bytes count normally everywhere and
+  /// additionally bump xdb_network_encoded_bytes_total (+ its per-link
+  /// cell) when a metrics registry is attached.
   void RecordTransfer(const std::string& src, const std::string& dst,
-                      double bytes, uint64_t messages = 1);
+                      double bytes, uint64_t messages = 1,
+                      bool encoded = false);
 
   /// Node names seen by GetLink/RecordTransfer that were never registered
   /// with AddNode. Empty in a correctly wired federation; tests assert on
@@ -152,9 +156,13 @@ class Network {
   MetricsRegistry* metrics_ = nullptr;
   Counter* metric_bytes_ = nullptr;     // xdb_network_bytes_total
   Counter* metric_messages_ = nullptr;  // xdb_network_messages_total
+  Counter* metric_encoded_ = nullptr;   // xdb_network_encoded_bytes_total
   // Memoized labeled cells, keyed by "src->dst" (cardinality is bounded by
   // the topology). Rebuilt from scratch when the registry changes.
   std::map<std::string, std::pair<Counter*, Counter*>> metric_by_link_;
+  // Per-link encoded-byte cells, created lazily on first encoded transfer
+  // over the link so raw-mode runs expose no zero-valued encoded series.
+  std::map<std::string, Counter*> metric_encoded_by_link_;
   mutable std::set<std::string> unknown_nodes_;
   std::map<std::pair<std::string, std::string>, LinkProps> links_;
   std::set<std::pair<std::string, std::string>> blocked_;

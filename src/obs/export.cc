@@ -70,7 +70,9 @@ void WriteRunTrace(JsonWriter* w, const RunTrace& trace) {
     w->Field("relation", t.relation);
     w->Field("rows", t.rows);
     w->Field("bytes", t.bytes);
+    w->Field("raw_bytes", t.raw_bytes);
     w->Field("messages", t.messages);
+    w->Field("encoded", t.encoded);
     w->Field("materialized", t.materialized);
     w->Field("failed", t.failed);
     w->Key("producer_compute");
@@ -110,6 +112,7 @@ void WriteRunTrace(JsonWriter* w, const RunTrace& trace) {
   w->Field("useful_bytes", trace.UsefulTransferredBytes());
   w->Field("wasted_bytes", trace.WastedTransferredBytes());
   w->Field("total_bytes", trace.TotalTransferredBytes());
+  w->Field("raw_bytes", trace.TotalRawTransferredBytes());
   w->Field("total_rows", trace.TotalTransferredRows());
   w->EndObject();
 }

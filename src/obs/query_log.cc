@@ -122,13 +122,21 @@ std::vector<std::string> QueryLog::Summary() const {
     lines.emplace_back(buf);
   }
   for (const auto& q : entries_) {
+    // Compression token only when the columnar wire actually saved bytes —
+    // raw-mode lines stay byte-identical to before the columnar wire.
+    const double wire = q.useful_bytes + q.wasted_bytes;
+    char comp[32] = "";
+    if (q.raw_bytes > wire && wire > 0) {
+      std::snprintf(comp, sizeof(comp), "  [%.2fx columnar]",
+                    q.raw_bytes / wire);
+    }
     std::snprintf(buf, sizeof(buf),
                   "#%-4lld %-8s %-7s %8.2fs  useful=%.0fB wasted=%.0fB "
-                  "transfers=%d retries=%d replans=%d recovery=%s%s%s",
+                  "transfers=%d retries=%d replans=%d recovery=%s%s%s%s",
                   static_cast<long long>(q.sequence), q.label.c_str(),
                   q.system.c_str(), q.total_seconds(), q.useful_bytes,
                   q.wasted_bytes, q.transfers, q.retries, q.replan_rounds,
-                  q.recovery_action.c_str(),
+                  q.recovery_action.c_str(), comp,
                   q.plan_cache_hit ? "  [cached plan]" : "",
                   q.ok ? "" : "  FAILED");
     lines.emplace_back(buf);
@@ -249,6 +257,7 @@ std::string QueryLog::ToJson() const {
     w.EndObject();
     w.Field("useful_bytes", q.useful_bytes);
     w.Field("wasted_bytes", q.wasted_bytes);
+    w.Field("raw_bytes", q.raw_bytes);
     w.Field("transfer_rows", q.transfer_rows);
     w.Field("transfers", q.transfers);
     w.Field("retries", q.retries);

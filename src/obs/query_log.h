@@ -34,6 +34,9 @@ struct QueryStats {
   // scale, like RunTrace).
   double useful_bytes = 0;
   double wasted_bytes = 0;
+  /// Uncompressed row-format bytes of the same transfers — exceeds
+  /// useful+wasted only when the columnar wire shipped compressed chunks.
+  double raw_bytes = 0;
   double transfer_rows = 0;
   int transfers = 0;
 

@@ -11,12 +11,36 @@ size_t RowSerializedSize(const Row& row) {
 }
 
 size_t Table::SerializedSize() const {
-  size_t cached = serialized_size_.load(std::memory_order_relaxed);
-  if (cached != kSizeUnknown) return cached;
+  const uint64_t gen = generation();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (size_generation_ == gen) return cached_size_;
   size_t n = 0;
   for (const auto& r : rows_) n += RowSerializedSize(r);
-  serialized_size_.store(n, std::memory_order_relaxed);
+  cached_size_ = n;
+  size_generation_ = gen;
   return n;
+}
+
+size_t Table::EncodedSerializedSize() const {
+  auto chunks = EnsureChunked();
+  if (!chunks) return SerializedSize();
+  return chunks->EncodedSize();
+}
+
+std::shared_ptr<const ChunkedTable> Table::EnsureChunked() const {
+  const uint64_t gen = generation();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (chunk_generation_ != gen) {
+    chunks_ = ChunkedTable::FromRows(schema_, rows_);
+    chunk_generation_ = gen;
+  }
+  return chunks_;
+}
+
+std::shared_ptr<const ChunkedTable> Table::chunked() const {
+  const uint64_t gen = generation();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return chunk_generation_ == gen ? chunks_ : nullptr;
 }
 
 std::string Table::ToDisplayString(size_t max_rows) const {

@@ -1,18 +1,18 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/types/column_chunk.h"
 #include "src/types/schema.h"
 #include "src/types/value.h"
 
 namespace xdb {
-
-/// \brief A row of values; widths match the owning relation's schema.
-using Row = std::vector<Value>;
 
 /// \brief Approximate serialized size of a row (for transfer accounting).
 size_t RowSerializedSize(const Row& row);
@@ -34,16 +34,18 @@ class Table {
   size_t num_rows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
   std::vector<Row>& mutable_rows() {
-    // Handing out mutable rows voids the size cache; the caller may rewrite
-    // anything.
-    InvalidateSerializedSize();
+    // Handing out mutable rows bumps the generation: the derived caches
+    // (serialized size, chunked mirror) lazily revalidate on next read
+    // instead of being rebuilt eagerly, so repeated read-modify cycles cost
+    // one rebuild per burst and pure readers never pay anything.
+    BumpGeneration();
     return rows_;
   }
   const Row& row(size_t i) const { return rows_[i]; }
 
   void AppendRow(Row row) {
     rows_.push_back(std::move(row));
-    InvalidateSerializedSize();
+    BumpGeneration();
   }
 
   /// Pre-sizes the row vector for `n` total rows (see std::vector::reserve);
@@ -51,28 +53,53 @@ class Table {
   /// reallocation while appending.
   void Reserve(size_t n) { rows_.reserve(n); }
 
-  /// Total approximate serialized size of all rows. Computed on first call
-  /// and cached until the rows change (AppendRow / mutable_rows): this sits
-  /// on the transfer-accounting path of every foreign fetch, which used to
-  /// re-walk every row per call.
+  /// Monotone mutation counter; derived caches key off it.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Total approximate serialized size of all rows in row format (what the
+  /// classic wire mode ships). Cached per generation: this sits on the
+  /// transfer-accounting path of every foreign fetch.
   size_t SerializedSize() const;
+
+  /// Wire width of the columnar encoding (dictionary/RLE compressed; see
+  /// ColumnChunk). Encodes and caches the chunked mirror on first call.
+  /// Always <= SerializedSize(); falls back to it when the rows cannot be
+  /// chunked (ragged widths).
+  size_t EncodedSerializedSize() const;
+
+  /// Builds (or revalidates) the cached columnar mirror and returns it.
+  /// Thread-safe; nullptr only when the rows don't match the schema.
+  std::shared_ptr<const ChunkedTable> EnsureChunked() const;
+
+  /// The cached columnar mirror if one exists for the current generation,
+  /// else nullptr. Never encodes — operators use this so only tables that
+  /// were chunked up front (base tables at load time) take the column path.
+  std::shared_ptr<const ChunkedTable> chunked() const;
 
   /// Renders the first `max_rows` rows as an ASCII table (for examples).
   std::string ToDisplayString(size_t max_rows = 20) const;
 
  private:
-  static constexpr size_t kSizeUnknown = std::numeric_limits<size_t>::max();
+  static constexpr uint64_t kNoGeneration =
+      std::numeric_limits<uint64_t>::max();
 
-  void InvalidateSerializedSize() {
-    serialized_size_.store(kSizeUnknown, std::memory_order_relaxed);
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Schema schema_;
   std::vector<Row> rows_;
-  // Atomic so concurrent const readers (tables are shared read-only across
-  // morsel workers) may race to fill the cache without UB; both compute the
-  // same value.
-  mutable std::atomic<size_t> serialized_size_{kSizeUnknown};
+  // Mutations are single-writer (executor output paths); the caches below
+  // may be filled from concurrent const readers (tables are shared
+  // read-only across morsel workers), hence the mutex + atomic generation.
+  std::atomic<uint64_t> generation_{0};
+  mutable std::mutex cache_mu_;
+  mutable uint64_t size_generation_ = kNoGeneration;
+  mutable size_t cached_size_ = 0;
+  mutable uint64_t chunk_generation_ = kNoGeneration;
+  mutable std::shared_ptr<const ChunkedTable> chunks_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

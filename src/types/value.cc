@@ -138,45 +138,63 @@ void AppendFixed64(std::string* out, uint64_t bits) {
 
 }  // namespace
 
+// Tag bytes keep different type classes (and NULL) from colliding; fixed or
+// length-prefixed payloads keep concatenated keys unambiguous. These free
+// functions are the single source of truth for the encoding — Value and the
+// columnar chunks both call them, so code-space key extraction cannot drift
+// from the row path.
+
+void AppendNormalizedNullKey(std::string* out) {
+  out->push_back('\1');  // NULL, regardless of declared type (Compare: all
+                         // NULLs are equal)
+}
+
+void AppendNormalizedStringKey(const std::string& s, std::string* out) {
+  out->push_back('s');
+  AppendFixed64(out, static_cast<uint64_t>(s.size()));
+  out->append(s);
+}
+
+void AppendNormalizedInt64Key(int64_t i, std::string* out) {
+  // One class for the int64-payload types: Compare treats bool, int64 and
+  // date as the same numeric domain.
+  out->push_back('i');
+  AppendFixed64(out, static_cast<uint64_t>(i));
+}
+
+void AppendNormalizedDoubleKey(double d, std::string* out) {
+  if (d == 0.0) d = 0.0;  // -0.0 compares equal to 0.0
+  // Integral doubles encode as int64 so that 1.0 == 1 (Compare widens the
+  // int side to double for mixed comparisons).
+  int64_t i = static_cast<int64_t>(d);
+  if (d >= -9007199254740992.0 && d <= 9007199254740992.0 &&
+      static_cast<double>(i) == d) {
+    AppendNormalizedInt64Key(i, out);
+    return;
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  out->push_back('d');
+  AppendFixed64(out, bits);
+}
+
 void Value::AppendNormalizedKey(std::string* out) const {
-  // Tag bytes keep different type classes (and NULL) from colliding; fixed
-  // or length-prefixed payloads keep concatenated keys unambiguous.
   if (is_null_) {
-    out->push_back('\1');  // NULL, regardless of declared type (Compare: all
-    return;                // NULLs are equal)
+    AppendNormalizedNullKey(out);
+    return;
   }
   switch (type_) {
     case TypeId::kString:
-      out->push_back('s');
-      AppendFixed64(out, static_cast<uint64_t>(str_.size()));
-      out->append(str_);
+      AppendNormalizedStringKey(str_, out);
       return;
-    case TypeId::kDouble: {
-      double d = f64_;
-      if (d == 0.0) d = 0.0;  // -0.0 compares equal to 0.0
-      // Integral doubles encode as int64 so that 1.0 == 1 (Compare widens
-      // the int side to double for mixed comparisons).
-      int64_t i = static_cast<int64_t>(d);
-      if (d >= -9007199254740992.0 && d <= 9007199254740992.0 &&
-          static_cast<double>(i) == d) {
-        out->push_back('i');
-        AppendFixed64(out, static_cast<uint64_t>(i));
-        return;
-      }
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      std::memcpy(&bits, &d, sizeof(bits));
-      out->push_back('d');
-      AppendFixed64(out, bits);
+    case TypeId::kDouble:
+      AppendNormalizedDoubleKey(f64_, out);
       return;
-    }
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      // One class for the int64-payload types: Compare treats bool, int64
-      // and date as the same numeric domain.
-      out->push_back('i');
-      AppendFixed64(out, static_cast<uint64_t>(i64_));
+      AppendNormalizedInt64Key(i64_, out);
       return;
   }
 }

@@ -34,6 +34,14 @@ Result<int64_t> ParseDate(const std::string& s);
 /// \brief Formats days since epoch as "YYYY-MM-DD".
 std::string FormatDate(int64_t days);
 
+/// Normalized-key encoding primitives shared by Value::AppendNormalizedKey
+/// and the columnar chunk encoders (column_chunk.cc), so code-space key
+/// extraction is byte-identical to the row path by construction.
+void AppendNormalizedNullKey(std::string* out);
+void AppendNormalizedStringKey(const std::string& s, std::string* out);
+void AppendNormalizedInt64Key(int64_t i, std::string* out);
+void AppendNormalizedDoubleKey(double d, std::string* out);
+
 /// \brief A single, nullable SQL value.
 ///
 /// Values are small (int64/double inline, string out-of-line) and carry their

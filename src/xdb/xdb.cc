@@ -175,6 +175,7 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   const RunTrace& trace = result.ok() ? result->trace : fail_trace;
   qs.useful_bytes = trace.UsefulTransferredBytes();
   qs.wasted_bytes = trace.WastedTransferredBytes();
+  qs.raw_bytes = trace.TotalRawTransferredBytes();
   qs.transfer_rows = trace.TotalTransferredRows();
   qs.transfers = static_cast<int>(trace.transfers.size());
   qs.retries = static_cast<int>(trace.retries.size());
@@ -463,9 +464,18 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
       run_status = result.status();
       if (result.ok()) {
         // The final result is the only data that leaves the federation.
-        fed_->network().RecordTransfer(
-            xdb_query->server, options_.middleware_node,
-            static_cast<double>((*result)->SerializedSize()), 1);
+        const bool enc_wire =
+            fed_->wire_format() == WireFormat::kColumnar;
+        const double result_raw =
+            static_cast<double>((*result)->SerializedSize());
+        const double result_bytes =
+            enc_wire
+                ? std::min(result_raw, static_cast<double>(
+                                           (*result)->EncodedSerializedSize()))
+                : result_raw;
+        fed_->network().RecordTransfer(xdb_query->server,
+                                       options_.middleware_node, result_bytes,
+                                       1, enc_wire);
         report.trace = fed_->FinishRun();
 
         // Fold the failed rounds' recovery trail into the winning trace.
@@ -643,11 +653,39 @@ Result<TablePtr> XdbSystem::ExplainAnalyze(const std::string& sql) {
                 trace.UsefulTransferredBytes(),
                 trace.WastedTransferredBytes());
   emit(buf);
+  // Wire-encoding summary: only when something actually shipped encoded,
+  // so raw-mode output stays byte-identical to before the columnar wire.
+  bool any_encoded = false;
+  for (const auto& t : trace.transfers) any_encoded |= t.encoded;
+  if (any_encoded) {
+    std::snprintf(buf, sizeof(buf),
+                  "wire: columnar (raw=%.0f B, encoded=%.0f B, ratio=%.2fx)",
+                  trace.TotalRawTransferredBytes(),
+                  trace.TotalTransferredBytes(), trace.CompressionRatio());
+    emit(buf);
+  }
   for (const auto& name : fed_->ServerNames()) {
     const OperatorProfiler& prof = profilers[name];
-    if (prof.records().empty()) continue;
+    bool served = false;
+    double srv_raw = 0;
+    double srv_enc = 0;
+    if (any_encoded) {
+      for (const auto& t : trace.transfers) {
+        if (t.src != name || !t.encoded) continue;
+        served = true;
+        srv_raw += t.raw_bytes;
+        srv_enc += t.bytes;
+      }
+    }
+    if (prof.records().empty() && !served) continue;
     const DatabaseServer* server = fed_->GetServer(name);
     emit("server " + name + " (" + server->profile().vendor + "):");
+    if (served) {
+      std::snprintf(buf, sizeof(buf),
+                    "  shipped: raw=%.0f B encoded=%.0f B (%.2fx)", srv_raw,
+                    srv_enc, srv_enc > 0 ? srv_raw / srv_enc : 1.0);
+      emit(buf);
+    }
     for (const auto& line :
          prof.Render(server->profile(), options_.scale_up)) {
       emit("  " + line);

@@ -127,6 +127,7 @@ TRACE_KEYS = {
     "useful_bytes",
     "wasted_bytes",
     "total_bytes",
+    "raw_bytes",
     "total_rows",
 }
 COMPUTE_KEYS = {
@@ -151,7 +152,9 @@ TRANSFER_KEYS = {
     "relation",
     "rows",
     "bytes",
+    "raw_bytes",
     "messages",
+    "encoded",
     "materialized",
     "failed",
     "producer_compute",
@@ -197,12 +200,18 @@ class Validator:
             return
         self.require_number(obj, "id", path, minimum=0)
         self.require_number(obj, "rows", path, minimum=0)
-        self.require_number(obj, "bytes", path, minimum=0)
+        b = self.require_number(obj, "bytes", path, minimum=0)
+        raw = self.require_number(obj, "raw_bytes", path, minimum=0)
         self.require_number(obj, "messages", path, minimum=1)
+        # Columnar-wire invariant: the wire charge never exceeds the
+        # uncompressed row-format bytes of the same payload.
+        if None not in (b, raw) and b > raw + 1e-6:
+            self.error(f"{path}.bytes",
+                       f"bytes ({b}) > raw_bytes ({raw})")
         for key in ("src", "dst", "relation"):
             if not isinstance(obj[key], str) or not obj[key]:
                 self.error(f"{path}.{key}", "expected non-empty string")
-        for key in ("materialized", "failed"):
+        for key in ("encoded", "materialized", "failed"):
             if not isinstance(obj[key], bool):
                 self.error(f"{path}.{key}", "expected bool")
         self.check_compute(obj["producer_compute"], f"{path}.producer_compute")

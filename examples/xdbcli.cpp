@@ -14,17 +14,26 @@
 //   \wire [fmt]     show or set the transfer format: raw | columnar
 //                   (columnar ships compressed column chunks; \stats and
 //                   \analyze then show encoded bytes + compression ratio)
+//   \deadline [ms]  show or set the modelled-time deadline per query
+//                   (0 = none); queries over budget fail fast with TIMEOUT
+//   \partial [on|off] opt in to partial results: when a subtree's DBMS is
+//                   unreachable, return surviving fragments annotated with
+//                   completeness instead of failing
+//   \health         per-server circuit-breaker health (state, error rate,
+//                   trips); tripped servers are planned around
 //   \quit
 //
 // Run with a SQL script on stdin or interactively:
 //   echo "SELECT COUNT(*) AS n FROM lineitem l" | ./example_xdbcli
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "src/common/str_util.h"
+#include "src/dbms/health.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
@@ -64,13 +73,19 @@ int main() {
   recorder.set_capacity(4096);
   QueryLog history(64);
   MetricsRegistry metrics;
+  HealthTracker health;
   fed->SetSpanRecorder(&recorder);
   fed->SetQueryLog(&history);
   fed->SetMetricsRegistry(&metrics);
+  fed->SetHealthTracker(&health);
 
   std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
               "\\ddl <sql>, \\analyze <sql>, \\trace <file>, \\stats, "
-              "\\metrics, \\wire, \\quit\n");
+              "\\metrics, \\wire, \\deadline, \\partial, \\health, \\quit\n");
+
+  // Shell-level degradation knobs, applied to every query until changed.
+  double deadline_seconds = 0;
+  bool allow_partial = false;
 
   std::string line;
   while (true) {
@@ -115,6 +130,46 @@ int main() {
                       : "raw rows");
       continue;
     }
+    if (line == "\\deadline" || StartsWith(line, "\\deadline ")) {
+      std::string arg = line.size() > 9 ? Trim(line.substr(10)) : "";
+      if (!arg.empty()) {
+        char* end = nullptr;
+        const double ms = std::strtod(arg.c_str(), &end);
+        if (end == arg.c_str() || ms < 0) {
+          std::printf("usage: \\deadline <milliseconds of modelled time>; "
+                      "0 clears it\n");
+          continue;
+        }
+        deadline_seconds = ms / 1000.0;
+      }
+      if (deadline_seconds > 0) {
+        std::printf("deadline: %.0f ms of modelled time per query\n",
+                    deadline_seconds * 1000.0);
+      } else {
+        std::printf("deadline: none\n");
+      }
+      continue;
+    }
+    if (line == "\\partial" || StartsWith(line, "\\partial ")) {
+      std::string arg = line.size() > 8 ? Trim(line.substr(9)) : "";
+      if (arg == "on") {
+        allow_partial = true;
+      } else if (arg == "off") {
+        allow_partial = false;
+      } else if (!arg.empty()) {
+        std::printf("usage: \\partial [on|off]\n");
+        continue;
+      }
+      std::printf("partial results: %s\n",
+                  allow_partial
+                      ? "on (unreachable fragments degrade, not fail)"
+                      : "off (any unreachable fragment fails the query)");
+      continue;
+    }
+    if (line == "\\health") {
+      for (const auto& l : health.Render()) std::printf("%s\n", l.c_str());
+      continue;
+    }
     if (StartsWith(line, "\\trace")) {
       std::string path = Trim(line.substr(6));
       if (path.empty()) path = "xdbcli_trace.json";
@@ -131,7 +186,10 @@ int main() {
     }
     if (StartsWith(line, "\\analyze ")) {
       recorder.Clear();
-      auto table = xdb.ExplainAnalyze(line.substr(9));
+      QueryContext ctx;
+      ctx.deadline_seconds = deadline_seconds;
+      ctx.allow_partial = allow_partial;
+      auto table = xdb.ExplainAnalyze(line.substr(9), ctx);
       if (!table.ok()) {
         std::printf("error: %s\n", table.status().ToString().c_str());
         continue;
@@ -163,7 +221,10 @@ int main() {
     }
 
     recorder.Clear();  // \trace shows the most recent query only
-    auto report = xdb.Query(line);
+    QueryContext ctx;
+    ctx.deadline_seconds = deadline_seconds;
+    ctx.allow_partial = allow_partial;
+    auto report = xdb.Query(line, ctx);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       continue;
@@ -179,6 +240,17 @@ int main() {
                   report->xdb_query.sql.c_str());
     }
     if (!plan_only) {
+      if (report->partial()) {
+        std::printf("warning: PARTIAL result — %.0f%% of fragments "
+                    "delivered, %zu lost:\n",
+                    report->completeness.completeness_fraction * 100.0,
+                    report->completeness.lost.size());
+        for (const auto& l : report->completeness.lost) {
+          std::printf("  lost %s@%s (%s, est %.0f rows)\n",
+                      l.relation.c_str(), l.server.c_str(),
+                      l.reason.c_str(), l.est_rows);
+        }
+      }
       std::printf("%s", report->result->ToDisplayString(25).c_str());
       const double moved = report->trace.TotalTransferredBytes();
       const double raw = report->trace.TotalRawTransferredBytes();

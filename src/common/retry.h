@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/status.h"
 
@@ -28,26 +29,59 @@ struct RetryPolicy {
   }
 };
 
+/// \brief Result of a retry loop: final status plus the modelled cost the
+/// loop actually incurred.
+struct RetryOutcome {
+  Status status;
+  int attempts = 1;            // attempts actually made, including first
+  double backoff_seconds = 0;  // modelled backoff actually charged
+  /// True when the loop stopped because the next backoff did not fit the
+  /// remaining deadline budget. The final status is still the last
+  /// attempt's (retryable) failure; the caller decides whether to degrade
+  /// or fail with kTimeout.
+  bool budget_exhausted = false;
+};
+
 /// Runs `fn` (a Status-returning callable) up to `policy.max_attempts`
 /// times, backing off between attempts that fail with a retryable status
-/// (Status::IsRetryable). Non-retryable failures abort immediately. Reports
-/// the attempt count and the total modelled backoff through the out
-/// parameters and returns the final status.
+/// (Status::IsRetryable). Non-retryable failures abort immediately.
+///
+/// `budget_seconds` caps the modelled backoff the loop may charge
+/// (negative = unlimited). The budget check runs *before* the backoff is
+/// charged: a retry abandoned by the deadline bills only the time actually
+/// spent, never a phantom full-backoff wait that no attempt consumed.
+template <typename Fn>
+RetryOutcome RetryWithBackoffBudget(const RetryPolicy& policy, Fn&& fn,
+                                    double budget_seconds) {
+  const int budget = std::max(1, policy.max_attempts);
+  RetryOutcome out;
+  int attempt = 1;
+  for (;; ++attempt) {
+    out.status = fn();
+    if (out.status.ok() || !out.status.IsRetryable() || attempt >= budget) {
+      break;
+    }
+    const double wait = policy.BackoffAfter(attempt);
+    if (budget_seconds >= 0 && out.backoff_seconds + wait > budget_seconds) {
+      out.budget_exhausted = true;
+      break;
+    }
+    out.backoff_seconds += wait;
+  }
+  out.attempts = attempt;
+  return out;
+}
+
+/// Unbudgeted retry loop, reporting the attempt count and total modelled
+/// backoff through the out parameters and returning the final status.
 template <typename Fn>
 Status RetryWithBackoff(const RetryPolicy& policy, Fn&& fn, int* attempts,
                         double* backoff_seconds) {
-  const int budget = std::max(1, policy.max_attempts);
-  double waited = 0;
-  Status st;
-  int attempt = 1;
-  for (;; ++attempt) {
-    st = fn();
-    if (st.ok() || !st.IsRetryable() || attempt >= budget) break;
-    waited += policy.BackoffAfter(attempt);
-  }
-  if (attempts != nullptr) *attempts = attempt;
-  if (backoff_seconds != nullptr) *backoff_seconds = waited;
-  return st;
+  RetryOutcome out =
+      RetryWithBackoffBudget(policy, std::forward<Fn>(fn), -1.0);
+  if (attempts != nullptr) *attempts = out.attempts;
+  if (backoff_seconds != nullptr) *backoff_seconds = out.backoff_seconds;
+  return out.status;
 }
 
 }  // namespace xdb

@@ -1,5 +1,7 @@
 #include "src/dbms/federation.h"
 
+#include <algorithm>
+
 #include "src/dbms/server.h"
 
 namespace xdb {
@@ -273,6 +275,7 @@ Status Federation::InjectFault(const std::string& server, FaultOp op,
   if (injector_ == nullptr) return Status::OK();
   Status st = injector_->OnOperation(server, op, peer);
   double delay = injector_->TakeInjectedDelay();
+  if (delay > 0) ChargeBudget(delay);
   RunState& rs = ThreadRun();
   if (ActiveHere(rs) && delay > 0) rs.run.injected_delay_seconds += delay;
   if (!st.ok() && metrics_ != nullptr) {
@@ -302,6 +305,7 @@ void Federation::RecordRetry(RetryEvent event) {
                event.server)
         ->Increment(event.attempts - 1);
   }
+  ChargeBudget(event.backoff_seconds);
   RunState& rs = ThreadRun();
   if (!ActiveHere(rs)) return;
   rs.run.total_backoff_seconds += event.backoff_seconds;
@@ -314,7 +318,8 @@ int RecoveryRank(const std::string& action) {
   if (action == "retried") return 1;
   if (action == "rolled-back") return 2;
   if (action == "replanned") return 3;
-  if (action == "failed") return 4;
+  if (action == "degraded") return 4;
+  if (action == "failed") return 5;
   return 0;  // "none" / unknown
 }
 }  // namespace
@@ -386,6 +391,7 @@ void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
       "xdb_federation_transfer_bytes",
       {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
       "Per-transfer payload size distribution");
+  if (health_ != nullptr) health_->SetMetricsRegistry(registry);
 }
 
 void Federation::CountReplanRounds(int rounds) {
@@ -397,6 +403,91 @@ void Federation::CountDdl(const std::string& server) {
   m_.ddl->Increment();
   ServerCell(&m_.ddl_by_server, "xdb_delegation_ddl_total", server)
       ->Increment();
+}
+
+void Federation::SetHealthTracker(HealthTracker* tracker) {
+  health_ = tracker;
+  if (health_ != nullptr && metrics_ != nullptr) {
+    health_->SetMetricsRegistry(metrics_);
+  }
+}
+
+void Federation::RecordHealthOutcome(const std::string& server, int attempts,
+                                     const Status& final_status) {
+  if (health_ == nullptr) return;
+  // Every intermediate attempt failed retryably by construction of the
+  // retry loop; the final attempt counts only when its verdict speaks to
+  // server health.
+  for (int i = 1; i < attempts; ++i) health_->RecordOutcome(server, false);
+  if (final_status.ok()) {
+    health_->RecordOutcome(server, true);
+  } else if (final_status.IsRetryable()) {
+    health_->RecordOutcome(server, false);
+  }
+}
+
+Federation::BudgetState& Federation::ThreadBudget() {
+  static thread_local BudgetState t_budget;
+  return t_budget;
+}
+
+void Federation::ArmQueryBudget(double deadline_seconds, bool allow_partial) {
+  BudgetState& b = ThreadBudget();
+  b.owner = this;
+  b.deadline_armed = deadline_seconds > 0;
+  b.remaining = deadline_seconds;
+  b.allow_partial = allow_partial;
+}
+
+void Federation::DisarmQueryBudget() {
+  BudgetState& b = ThreadBudget();
+  b.owner = nullptr;
+  b.deadline_armed = false;
+  b.remaining = 0;
+  b.allow_partial = false;
+}
+
+double Federation::RemainingBudget() const {
+  const BudgetState& b = ThreadBudget();
+  if (b.owner != this || !b.deadline_armed) return -1.0;
+  return std::max(0.0, b.remaining);
+}
+
+void Federation::ChargeBudget(double seconds) {
+  BudgetState& b = ThreadBudget();
+  if (b.owner != this || !b.deadline_armed || seconds <= 0) return;
+  b.remaining -= seconds;
+}
+
+bool Federation::PartialAllowed() const {
+  const BudgetState& b = ThreadBudget();
+  return b.owner == this && b.allow_partial;
+}
+
+void Federation::RecordLostFragment(FragmentLoss loss) {
+  if (metrics_ != nullptr) {
+    Counter* cell = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      auto it = m_.partials_by_reason.find(loss.reason);
+      if (it == m_.partials_by_reason.end()) {
+        it = m_.partials_by_reason
+                 .emplace(loss.reason,
+                          metrics_->GetCounter(
+                              "xdb_partial_results_total",
+                              {{"reason", loss.reason}},
+                              "Result fragments abandoned under the "
+                              "partial-results policy"))
+                 .first;
+      }
+      cell = it->second;
+    }
+    cell->Increment();
+  }
+  NoteRecovery("degraded");
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) return;
+  rs.run.lost_fragments.push_back(std::move(loss));
 }
 
 }  // namespace xdb

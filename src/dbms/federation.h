@@ -9,6 +9,7 @@
 
 #include "src/common/retry.h"
 #include "src/dbms/engine_profile.h"
+#include "src/dbms/health.h"
 #include "src/dbms/run_trace.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -150,11 +151,57 @@ class Federation {
   void RecordRetry(RetryEvent event);
 
   /// Raises the active run's recovery action if `action` outranks it
-  /// ("none" < "retried" < "rolled-back" < "replanned" < "failed").
+  /// ("none" < "retried" < "rolled-back" < "replanned" < "degraded" <
+  /// "failed").
   void NoteRecovery(const std::string& action);
 
   /// Marks a closed transfer record as failed (link dropped mid-transfer).
   void MarkTransferFailed(int id);
+
+  // --- per-server health & circuit breakers ---
+
+  /// Attaches a health tracker (nullptr detaches — the default). Retry
+  /// sites feed operation outcomes into it passively; XdbSystem consults
+  /// it when planning to route around open breakers. The caller keeps
+  /// ownership and must outlive the federation's use.
+  void SetHealthTracker(HealthTracker* tracker);
+  HealthTracker* health_tracker() const { return health_; }
+
+  /// Feeds one retried operation's outcome into the attached tracker:
+  /// `attempts - 1` retryable failures plus the final outcome. The final
+  /// status counts as a failure only when itself retryable — a catalog or
+  /// parse error says nothing about the server's health. No-op when no
+  /// tracker is attached.
+  void RecordHealthOutcome(const std::string& server, int attempts,
+                           const Status& final_status);
+
+  // --- per-query degradation budget (thread-local, armed by the query
+  //     systems around each top-level query) ---
+
+  /// Arms the calling thread's modelled-time deadline budget and partial-
+  /// results policy for one top-level query. `deadline_seconds <= 0` means
+  /// no deadline (allow_partial may still be set). Always pair with
+  /// DisarmQueryBudget.
+  void ArmQueryBudget(double deadline_seconds, bool allow_partial);
+  void DisarmQueryBudget();
+
+  /// Remaining modelled budget of the calling thread's query, clamped at
+  /// zero; negative when no deadline is armed (unlimited).
+  double RemainingBudget() const;
+
+  /// Deducts modelled seconds from the armed budget (no-op when none).
+  /// Retry backoff and injected fault delay charge automatically through
+  /// RecordRetry/InjectFault; the query systems charge planning phases and
+  /// failed failover rounds explicitly.
+  void ChargeBudget(double seconds);
+
+  /// Whether the calling thread's query opted into partial results.
+  bool PartialAllowed() const;
+
+  /// Records a fragment abandoned under the partial-results policy on the
+  /// active run: notes the "degraded" recovery action and bumps
+  /// xdb_partial_results_total{reason=...}.
+  void RecordLostFragment(FragmentLoss loss);
 
   // --- run recording (thread-local: one active run per serving thread) ---
 
@@ -219,6 +266,17 @@ class Federation {
     return rs.active && rs.owner == this;
   }
 
+  /// Per-thread deadline budget + partial policy. Separate from RunState
+  /// because one query's budget spans preparation and *multiple* failover
+  /// rounds, each of which is its own BeginRun/FinishRun pair.
+  struct BudgetState {
+    const Federation* owner = nullptr;
+    bool deadline_armed = false;
+    double remaining = 0;
+    bool allow_partial = false;
+  };
+  static BudgetState& ThreadBudget();
+
   /// Cached metric handles (resolved once at SetMetricsRegistry; hot paths
   /// then increment lock-free). The labeled per-server / per-link cells are
   /// resolved lazily on first use and memoized here — label cardinality is
@@ -253,6 +311,9 @@ class Federation {
     // the digit-normalized relation name (xdb_q12_t4 -> xdb_q*_t*) so
     // deployed-view names don't blow up label cardinality.
     std::map<std::string, Gauge*> compression_by_relation;
+    // Fragments abandoned under the partial-results policy, by reason
+    // ("node-down" | "link-drop" | "deadline" — a tiny fixed set).
+    std::map<std::string, Counter*> partials_by_reason;
   };
 
   /// Memoized `{server=...}` cell of counter family `name`.
@@ -271,6 +332,7 @@ class Federation {
   Network network_;
   WireFormat wire_format_ = WireFormat::kRawRows;
   FaultInjector* injector_ = nullptr;
+  HealthTracker* health_ = nullptr;
   SpanRecorder* spans_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   QueryLog* query_log_ = nullptr;

@@ -1,0 +1,189 @@
+#include "src/dbms/health.h"
+
+#include <cstdio>
+
+namespace xdb {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+HealthTracker::ServerHealth& HealthTracker::GetLocked(
+    const std::string& server) {
+  auto it = servers_.find(server);
+  if (it == servers_.end()) {
+    it = servers_.emplace(server, ServerHealth{}).first;
+    if (metrics_ != nullptr) {
+      it->second.state_gauge = metrics_->GetGauge(
+          "xdb_breaker_state", {{"server", server}},
+          "Circuit breaker state: 0 closed, 1 open, 2 half-open");
+      it->second.trip_counter = metrics_->GetCounter(
+          "xdb_breaker_trips_total", {{"server", server}},
+          "Circuit breaker trips (Closed/HalfOpen -> Open)");
+    }
+  }
+  return it->second;
+}
+
+void HealthTracker::TransitionLocked(const std::string& server,
+                                     ServerHealth* h, BreakerState to) {
+  (void)server;
+  if (h->state == to) return;
+  h->state = to;
+  ++state_epoch_;
+  if (h->state_gauge != nullptr) {
+    h->state_gauge->Set(to == BreakerState::kClosed     ? 0
+                        : to == BreakerState::kOpen     ? 1
+                                                        : 2);
+  }
+}
+
+double HealthTracker::ErrorRateLocked(const ServerHealth& h) const {
+  if (h.window.empty()) return 0;
+  int failures = 0;
+  for (bool failed : h.window) failures += failed ? 1 : 0;
+  return static_cast<double>(failures) / static_cast<double>(h.window.size());
+}
+
+void HealthTracker::RecordOutcome(const std::string& server, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerHealth& h = GetLocked(server);
+  h.window.push_back(!ok);
+  while (static_cast<int>(h.window.size()) > options_.window) {
+    h.window.pop_front();
+  }
+  if (ok) {
+    h.consecutive_failures = 0;
+    if (h.state == BreakerState::kHalfOpen &&
+        ++h.probe_successes >= options_.half_open_probes) {
+      // The probe came back healthy: close, with a clean slate so one old
+      // burst in the window can't immediately re-trip.
+      h.window.clear();
+      TransitionLocked(server, &h, BreakerState::kClosed);
+    }
+    return;
+  }
+  ++h.consecutive_failures;
+  switch (h.state) {
+    case BreakerState::kClosed: {
+      const bool by_streak =
+          h.consecutive_failures >= options_.consecutive_failures;
+      const bool by_rate =
+          static_cast<int>(h.window.size()) >= options_.min_samples &&
+          ErrorRateLocked(h) >= options_.trip_error_rate;
+      if (by_streak || by_rate) {
+        ++h.trips;
+        if (h.trip_counter != nullptr) h.trip_counter->Increment();
+        h.cooldown_remaining = options_.cooldown_consults;
+        TransitionLocked(server, &h, BreakerState::kOpen);
+      }
+      break;
+    }
+    case BreakerState::kHalfOpen:
+      // The probe failed: straight back to Open for another cooldown.
+      ++h.trips;
+      if (h.trip_counter != nullptr) h.trip_counter->Increment();
+      h.cooldown_remaining = options_.cooldown_consults;
+      h.probe_successes = 0;
+      TransitionLocked(server, &h, BreakerState::kOpen);
+      break;
+    case BreakerState::kOpen:
+      break;  // already open; keep accumulating evidence in the window
+  }
+}
+
+std::vector<std::string> HealthTracker::PlanningExclusions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> excluded;
+  for (auto& [server, h] : servers_) {
+    if (h.state != BreakerState::kOpen) continue;
+    if (h.cooldown_remaining > 0) {
+      --h.cooldown_remaining;
+      excluded.push_back(server);
+    } else {
+      // Cooldown served: half-open and let this query probe the server.
+      h.probe_successes = 0;
+      TransitionLocked(server, &h, BreakerState::kHalfOpen);
+    }
+  }
+  return excluded;
+}
+
+BreakerState HealthTracker::state(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(server);
+  return it == servers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+double HealthTracker::RollingErrorRate(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(server);
+  return it == servers_.end() ? 0 : ErrorRateLocked(it->second);
+}
+
+int64_t HealthTracker::trips(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(server);
+  return it == servers_.end() ? 0 : it->second.trips;
+}
+
+int64_t HealthTracker::state_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_epoch_;
+}
+
+std::vector<std::string> HealthTracker::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lines;
+  if (servers_.empty()) {
+    lines.push_back("no health data yet (no operations recorded)");
+    return lines;
+  }
+  char buf[160];
+  for (const auto& [server, h] : servers_) {
+    int failures = 0;
+    for (bool failed : h.window) failures += failed ? 1 : 0;
+    std::snprintf(buf, sizeof(buf),
+                  "%-12s %-9s err=%.2f (%d/%zu) streak=%d trips=%lld%s",
+                  server.c_str(), BreakerStateToString(h.state),
+                  ErrorRateLocked(h), failures, h.window.size(),
+                  h.consecutive_failures, static_cast<long long>(h.trips),
+                  h.state == BreakerState::kOpen
+                      ? (" cooldown=" + std::to_string(h.cooldown_remaining))
+                            .c_str()
+                      : "");
+    lines.push_back(buf);
+  }
+  return lines;
+}
+
+void HealthTracker::SetMetricsRegistry(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = registry;
+  for (auto& [server, h] : servers_) {
+    if (metrics_ == nullptr) {
+      h.state_gauge = nullptr;
+      h.trip_counter = nullptr;
+      continue;
+    }
+    h.state_gauge = metrics_->GetGauge(
+        "xdb_breaker_state", {{"server", server}},
+        "Circuit breaker state: 0 closed, 1 open, 2 half-open");
+    h.trip_counter = metrics_->GetCounter(
+        "xdb_breaker_trips_total", {{"server", server}},
+        "Circuit breaker trips (Closed/HalfOpen -> Open)");
+    h.state_gauge->Set(h.state == BreakerState::kClosed     ? 0
+                       : h.state == BreakerState::kOpen     ? 1
+                                                            : 2);
+  }
+}
+
+}  // namespace xdb

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace xdb {
+
+/// \brief Circuit-breaker state of one server (DESIGN.md §11).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
+
+/// \brief Knobs for the per-server circuit breakers.
+struct BreakerOptions {
+  int window = 16;        // rolling per-server outcome window
+  int min_samples = 4;    // outcomes needed before the error rate can trip
+  double trip_error_rate = 0.5;  // rolling error rate that trips the breaker
+  int consecutive_failures = 3;  // consecutive failures trip regardless
+  /// Top-level planning consultations an open breaker sits out before it
+  /// half-opens and admits one probe query.
+  int cooldown_consults = 2;
+  int half_open_probes = 1;  // successes a half-open probe needs to close
+};
+
+/// \brief Per-server health tracking with circuit breakers.
+///
+/// Outcomes feed in passively from every retry site — foreign fetches,
+/// delegation DDL, root query triggering (Federation::RecordHealthOutcome)
+/// — so both XDB and the mediator baselines contribute evidence. The XDB
+/// planner consults PlanningExclusions() once per top-level query and
+/// routes around open breakers through the same PlacementConstraints
+/// machinery failover uses: a tripped server is simply not a Rule-4
+/// placement candidate, so the next query never retries against it.
+///
+/// Breakers influence *planning only*; they never block an operation.
+/// Cleanup DDL, mediator materialized-view drops, and probes all flow
+/// regardless of breaker state — a tripped breaker cannot strand state on
+/// a sick server.
+///
+/// State machine per server: Closed -> (consecutive failures, or rolling
+/// error rate over >= min_samples) -> Open -> (cooldown_consults planning
+/// consultations sat out) -> HalfOpen -> one probe query; success closes,
+/// a retryable failure re-opens.
+///
+/// Thread-safe. state_epoch() increments on every transition and feeds the
+/// plan-cache placement fingerprint, so cached plans built under an old
+/// health map are retired exactly like plans from a retired placement
+/// epoch.
+class HealthTracker {
+ public:
+  explicit HealthTracker(BreakerOptions options = {}) : options_(options) {}
+
+  /// Records one operation outcome against `server` (failed = retryable
+  /// failure; catalog/parse errors say nothing about health and must not
+  /// be recorded). Drives the Closed->Open and HalfOpen->{Closed,Open}
+  /// transitions.
+  void RecordOutcome(const std::string& server, bool ok);
+
+  /// Consulted once per top-level planning pass: returns the servers the
+  /// planner must route around (open breakers still cooling down). Each
+  /// call advances open cooldowns; a breaker whose cooldown just expired
+  /// half-opens and is *not* excluded — the caller's query becomes its
+  /// probe.
+  std::vector<std::string> PlanningExclusions();
+
+  BreakerState state(const std::string& server) const;
+  /// Rolling error rate over the server's outcome window (0 when empty).
+  double RollingErrorRate(const std::string& server) const;
+  int64_t trips(const std::string& server) const;
+
+  /// Monotone counter bumped on every state transition; part of the plan
+  /// cache's placement fingerprint.
+  int64_t state_epoch() const;
+
+  /// Human-readable per-server table (xdbcli \health).
+  std::vector<std::string> Render() const;
+
+  /// Attaches a metrics registry: xdb_breaker_state{server=} (0 closed,
+  /// 1 open, 2 half-open) and xdb_breaker_trips_total{server=}.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  struct ServerHealth {
+    BreakerState state = BreakerState::kClosed;
+    std::deque<bool> window;  // true = failure
+    int consecutive_failures = 0;
+    int cooldown_remaining = 0;
+    int probe_successes = 0;
+    int64_t trips = 0;
+    Gauge* state_gauge = nullptr;
+    Counter* trip_counter = nullptr;
+  };
+
+  ServerHealth& GetLocked(const std::string& server);
+  void TransitionLocked(const std::string& server, ServerHealth* h,
+                        BreakerState to);
+  double ErrorRateLocked(const ServerHealth& h) const;
+
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, ServerHealth> servers_;
+  int64_t state_epoch_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace xdb

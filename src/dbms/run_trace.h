@@ -48,6 +48,29 @@ struct RetryEvent {
   std::string error;  // final error message when !succeeded
 };
 
+/// \brief One result fragment abandoned under graceful degradation: the
+/// consumer substituted an empty relation for a fetch that could not be
+/// delivered (producer down, link dead after retries, or the deadline
+/// budget ran out) because the query opted into partial results.
+struct FragmentLoss {
+  std::string relation;  // remote relation whose fetch was abandoned
+  std::string server;    // producing DBMS
+  std::string consumer;  // DBMS that substituted the empty fragment
+  std::string reason;    // "node-down" | "link-drop" | "deadline"
+  double est_rows = 0;   // producer's row estimate for the lost fragment
+};
+
+/// \brief Per-result completeness annotation. Attached to every XdbReport;
+/// a complete result has fraction 1.0 and an empty loss list. Only queries
+/// running with `allow_partial` can ever be incomplete.
+struct ResultCompleteness {
+  bool complete = true;
+  /// delivered / (delivered + lost) over the winning round's fragments
+  /// (failed rounds' losses were replanned away and don't count).
+  double completeness_fraction = 1.0;
+  std::vector<FragmentLoss> lost;
+};
+
 /// \brief Everything observed while executing one top-level query across
 /// the federation: the root's compute plus the tree of transfers, and —
 /// when faults struck — the recovery trail (retries, rollbacks, replans).
@@ -66,8 +89,11 @@ struct RunTrace {
   int replan_rounds = 0;              // failover re-annotation rounds taken
   std::vector<std::string> excluded_servers;  // placements excluded by
                                               // failover
-  /// Most significant recovery action taken:
-  /// "none" < "retried" < "rolled-back" < "replanned" < "failed".
+  /// Fragments abandoned under the partial-results policy (empty unless
+  /// the query ran with allow_partial and lost a subtree).
+  std::vector<FragmentLoss> lost_fragments;
+  /// Most significant recovery action taken: "none" < "retried" <
+  /// "rolled-back" < "replanned" < "degraded" < "failed".
   std::string recovery_action = "none";
 
   /// All bytes that hit the wire, delivered or not. Equals

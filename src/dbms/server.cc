@@ -194,16 +194,42 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
     return Status::OK();
   };
 
-  int attempts = 0;
-  double backoff = 0;
-  Status st =
-      RetryWithBackoff(fed->retry_policy(), attempt_fetch, &attempts,
-                       &backoff);
-  if (attempts > 1 || st.IsRetryable()) {
-    fed->RecordRetry({server, "fetch", attempts, backoff, st.ok(),
-                      st.ok() ? std::string() : st.message()});
+  // The retry loop stops early when the remaining deadline budget cannot
+  // cover the next backoff; only the backoff actually waited is charged.
+  RetryOutcome out = RetryWithBackoffBudget(fed->retry_policy(),
+                                            attempt_fetch,
+                                            fed->RemainingBudget());
+  const Status& st = out.status;
+  if (out.attempts > 1 || st.IsRetryable()) {
+    fed->RecordRetry({server, "fetch", out.attempts, out.backoff_seconds,
+                      st.ok(), st.ok() ? std::string() : st.message()});
   }
+  fed->RecordHealthOutcome(server, out.attempts, st);
   if (!st.ok()) {
+    // Graceful degradation: when the query opted into partial results, an
+    // undeliverable non-root fragment becomes an empty relation with the
+    // declared schema (available locally through the foreign-table
+    // mapping, like an FDW's) so joins and aggregates above it still run
+    // over the surviving fragments. The root query itself never passes
+    // through ForeignFetch, so the top of the plan cannot be substituted.
+    if (st.IsRetryable() && fed->PartialAllowed()) {
+      Result<Schema> schema = remote->DescribeRelation(relation);
+      if (schema.ok()) {
+        FragmentLoss loss;
+        loss.relation = relation;
+        loss.server = server;
+        loss.consumer = server_->name_;
+        loss.reason = out.budget_exhausted ? "deadline"
+                      : st.code() == StatusCode::kTimeout ? "link-drop"
+                                                          : "node-down";
+        if (Result<double> est = remote->EstimateRelationRows(relation);
+            est.ok()) {
+          loss.est_rows = *est;
+        }
+        fed->RecordLostFragment(std::move(loss));
+        return std::make_shared<Table>(*schema);
+      }
+    }
     return st.WithContext("foreign fetch of " + server + "." + relation +
                           " by " + server_->name_);
   }

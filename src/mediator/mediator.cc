@@ -168,6 +168,9 @@ void MediatorSystem::RecordQueryStats(const std::string& sql,
     qs.transfers = static_cast<int>(rep.trace.transfers.size());
     qs.retries = static_cast<int>(rep.trace.retries.size());
     qs.recovery_action = rep.trace.recovery_action;
+    qs.partial = !rep.completeness.complete;
+    qs.completeness_fraction = rep.completeness.completeness_fraction;
+    qs.lost_fragments = static_cast<int>(rep.trace.lost_fragments.size());
     TimingModel model(fed_, TimingOptions{options_.scale_up});
     for (const auto& [srv, compute] : rep.trace.per_server) {
       const DatabaseServer* server = fed_->GetServer(srv);
@@ -201,6 +204,16 @@ Result<XdbReport> MediatorSystem::QueryImpl(const std::string& sql) {
   XdbReport report;
   const double wall_start = NowSeconds();
   const int query_id = ++query_counter_;
+
+  // Mediators share the deadline budget and partial-results machinery with
+  // XDB (same retry and fetch paths under the hood) but have no failover:
+  // an undeliverable fragment either degrades (allow_partial) or fails the
+  // query outright.
+  fed_->ArmQueryBudget(options_.deadline_seconds, options_.allow_partial);
+  struct DisarmBudget {
+    Federation* fed;
+    ~DisarmBudget() { fed->DisarmQueryBudget(); }
+  } disarm_budget{fed_};
 
   SpanRecorder* spans = fed_->span_recorder();
   struct FinalizeSpans {
@@ -241,6 +254,13 @@ Result<XdbReport> MediatorSystem::QueryImpl(const std::string& sql) {
   XDB_RETURN_NOT_OK(AnnotateMw(plan.get()));
   report.phases.ann = 0;  // MW systems plan centrally — no consulting
 
+  fed_->ChargeBudget(report.phases.prep + report.phases.lopt);
+  if (fed_->RemainingBudget() == 0.0) {
+    return Status::Timeout("query deadline (" +
+                           std::to_string(options_.deadline_seconds) +
+                           "s of modelled time) exhausted during planning");
+  }
+
   XDB_ASSIGN_OR_RETURN(DelegationPlan dplan,
                        FinalizePlan(*plan, query_id, mediator_name_));
 
@@ -271,6 +291,18 @@ Result<XdbReport> MediatorSystem::QueryImpl(const std::string& sql) {
   report.trace = fed_->FinishRun();
   report.ddl_statements = engine.ddl_count();
   report.ddl_log = engine.ddl_log();
+
+  report.completeness.lost = report.trace.lost_fragments;
+  report.completeness.complete = report.trace.lost_fragments.empty();
+  if (!report.completeness.complete) {
+    double delivered = 0;
+    for (const auto& t : report.trace.transfers) {
+      if (!t.failed) delivered += 1;
+    }
+    const double lost =
+        static_cast<double>(report.trace.lost_fragments.size());
+    report.completeness.completeness_fraction = delivered / (delivered + lost);
+  }
 
   TimingModel model(fed_, TimingOptions{options_.scale_up});
   report.exec_timing = model.ModelRun(report.trace);

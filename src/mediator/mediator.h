@@ -41,6 +41,12 @@ struct MediatorOptions {
   /// Executor worker budget for the mediator node and every component DBMS:
   /// 0 = hardware concurrency, 1 = legacy serial (see XdbOptions).
   int exec_threads = 0;
+  /// Modelled-time deadline per query (seconds; 0 = none) and opt-in
+  /// partial results, sharing XDB's budget machinery. Mediators have no
+  /// failover, so an undeliverable fragment either degrades under
+  /// allow_partial or fails the query.
+  double deadline_seconds = 0;
+  bool allow_partial = false;
 };
 
 /// \brief A mediator-wrapper federated query system (the paper's Figure 4a

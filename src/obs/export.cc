@@ -108,6 +108,18 @@ void WriteRunTrace(JsonWriter* w, const RunTrace& trace) {
   w->BeginArray();
   for (const auto& s : trace.excluded_servers) w->String(s);
   w->EndArray();
+  w->Key("lost_fragments");
+  w->BeginArray();
+  for (const auto& l : trace.lost_fragments) {
+    w->BeginObject();
+    w->Field("relation", l.relation);
+    w->Field("server", l.server);
+    w->Field("consumer", l.consumer);
+    w->Field("reason", l.reason);
+    w->Field("est_rows", l.est_rows);
+    w->EndObject();
+  }
+  w->EndArray();
   w->Field("recovery_action", trace.recovery_action);
   w->Field("useful_bytes", trace.UsefulTransferredBytes());
   w->Field("wasted_bytes", trace.WastedTransferredBytes());
@@ -155,6 +167,12 @@ std::string XdbReportToJson(const XdbReport& report) {
   w.Field("result_rows",
           report.result ? static_cast<int64_t>(report.result->num_rows())
                         : int64_t{0});
+  w.Key("completeness");
+  w.BeginObject();
+  w.Field("complete", report.completeness.complete);
+  w.Field("completeness_fraction", report.completeness.completeness_fraction);
+  w.Field("lost", static_cast<int64_t>(report.completeness.lost.size()));
+  w.EndObject();
   w.Key("trace");
   WriteRunTrace(&w, report.trace);
   w.EndObject();

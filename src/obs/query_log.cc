@@ -130,13 +130,20 @@ std::vector<std::string> QueryLog::Summary() const {
       std::snprintf(comp, sizeof(comp), "  [%.2fx columnar]",
                     q.raw_bytes / wire);
     }
+    // Partial token only for degraded results — complete-result lines stay
+    // byte-identical to before graceful degradation.
+    char part[32] = "";
+    if (q.partial) {
+      std::snprintf(part, sizeof(part), "  [PARTIAL %.0f%%]",
+                    q.completeness_fraction * 100.0);
+    }
     std::snprintf(buf, sizeof(buf),
                   "#%-4lld %-8s %-7s %8.2fs  useful=%.0fB wasted=%.0fB "
-                  "transfers=%d retries=%d replans=%d recovery=%s%s%s%s",
+                  "transfers=%d retries=%d replans=%d recovery=%s%s%s%s%s",
                   static_cast<long long>(q.sequence), q.label.c_str(),
                   q.system.c_str(), q.total_seconds(), q.useful_bytes,
                   q.wasted_bytes, q.transfers, q.retries, q.replan_rounds,
-                  q.recovery_action.c_str(), comp,
+                  q.recovery_action.c_str(), comp, part,
                   q.plan_cache_hit ? "  [cached plan]" : "",
                   q.ok ? "" : "  FAILED");
     lines.emplace_back(buf);
@@ -263,6 +270,9 @@ std::string QueryLog::ToJson() const {
     w.Field("retries", q.retries);
     w.Field("replan_rounds", q.replan_rounds);
     w.Field("recovery_action", q.recovery_action);
+    w.Field("partial", q.partial);
+    w.Field("completeness_fraction", q.completeness_fraction);
+    w.Field("lost_fragments", q.lost_fragments);
     w.Key("per_server_seconds");
     w.BeginObject();
     for (const auto& [server, seconds] : q.per_server_seconds) {

@@ -45,6 +45,12 @@ struct QueryStats {
   int replan_rounds = 0;
   std::string recovery_action = "none";
 
+  // Graceful degradation (allow_partial queries only; defaults mean a
+  // complete result).
+  bool partial = false;                // result is missing >= 1 fragment
+  double completeness_fraction = 1.0;  // delivered / (delivered + lost)
+  int lost_fragments = 0;
+
   /// Modelled compute seconds per component DBMS (at the system's
   /// scale-up) — the per-node breakdown a process-wide total cannot give.
   std::map<std::string, double> per_server_seconds;

@@ -94,6 +94,20 @@ bool FaultInjector::Fires(ActiveFault* fault) {
   int count = ++fault->match_count;
   if (count < spec.first_attempt || count > spec.last_attempt) return false;
   if (spec.every_nth > 0 && count % spec.every_nth != 0) return false;
+  if (spec.gilbert_elliott()) {
+    // Advance the two-state Markov channel, then toss the current state's
+    // loss coin. Both draws come from the seeded stream, so the burst
+    // pattern is exactly reproducible for a given seed and call sequence.
+    if (fault->ge_bad) {
+      if (NextUniform() < spec.ge_p_exit) fault->ge_bad = false;
+    } else {
+      if (NextUniform() < spec.ge_p_enter) fault->ge_bad = true;
+    }
+    const double loss = fault->ge_bad ? spec.ge_loss_bad : spec.ge_loss_good;
+    if (loss >= 1.0) return true;
+    if (loss <= 0.0) return false;
+    return NextUniform() < loss;
+  }
   if (spec.probability < 1.0 && NextUniform() >= spec.probability) {
     return false;
   }
@@ -160,6 +174,15 @@ void FaultInjector::DegradeLink(const std::string& a, const std::string& b,
       continue;
     }
     if (!LinkMatches(spec, a, b)) continue;
+    if (spec.diurnal_period > 0) {
+      // Deterministic square wave over this spec's matched consultations:
+      // the first round(duty * period) calls of every period are peak
+      // hours; off-peak consultations see the undegraded link.
+      const int phase = fault.degrade_count++ % spec.diurnal_period;
+      const int peak = static_cast<int>(
+          spec.diurnal_duty * spec.diurnal_period + 0.5);
+      if (phase >= peak) continue;
+    }
     props->bandwidth /= spec.slow_factor;
     props->latency *= spec.slow_factor;
   }
@@ -170,6 +193,12 @@ double FaultInjector::TakeInjectedDelay() {
   double d = pending_delay_seconds_;
   pending_delay_seconds_ = 0;
   return d;
+}
+
+bool FaultInjector::InBurstState(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = faults_.find(id);
+  return it != faults_.end() && it->second.ge_bad;
 }
 
 }  // namespace xdb

@@ -55,6 +55,29 @@ struct FaultSpec {
 
   // kSlowLink: bandwidth is divided and latency multiplied by this factor.
   double slow_factor = 1.0;
+
+  // --- Gilbert–Elliott bursty loss ---------------------------------------
+  // When ge_p_enter > 0, a two-state Markov channel replaces the uniform
+  // `probability` coin: each matched call first advances the chain (good ->
+  // bad with ge_p_enter, bad -> good with ge_p_exit), then the fault fires
+  // with the *current state's* loss probability. The defaults give the
+  // classic bursty channel — lossless good state, always-lossy bad state —
+  // so failures arrive in correlated bursts with geometric burst lengths
+  // of mean 1/ge_p_exit, instead of as independent coin flips.
+  double ge_p_enter = 0.0;  // P(good -> bad) per matched call; 0 disables
+  double ge_p_exit = 0.0;   // P(bad -> good) per matched call
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+  bool gilbert_elliott() const { return ge_p_enter > 0.0; }
+
+  // --- diurnal slow-link profile (kSlowLink only) ------------------------
+  // When diurnal_period > 0, the degradation follows a deterministic square
+  // wave over this spec's matched link consultations: the first
+  // round(diurnal_duty * diurnal_period) consultations of every period are
+  // "peak hours" (degraded by slow_factor); the rest run at full speed.
+  // Models a WAN whose effective bandwidth sags during business hours.
+  int diurnal_period = 0;
+  double diurnal_duty = 0.5;
 };
 
 /// \brief What fired last — consumed by the failover logic to decide which
@@ -132,10 +155,20 @@ class FaultInjector {
   /// call; the federation charges it to the active run.
   double TakeInjectedDelay();
 
+  /// Test hook: whether a Gilbert–Elliott fault's channel is currently in
+  /// the bad (bursty) state. False for unknown ids or non-GE specs.
+  bool InBurstState(int id) const;
+
  private:
   struct ActiveFault {
     FaultSpec spec;
     int match_count = 0;
+    bool ge_bad = false;  // Gilbert–Elliott channel state
+    // Per-spec count of matched DegradeLink consultations driving the
+    // diurnal square wave; mutable because DegradeLink is const (pure with
+    // respect to modelled results — the wave position is part of the
+    // deterministic schedule, like match_count is for Fires).
+    mutable int degrade_count = 0;
   };
 
   /// SplitMix64 — cheap, seedable, platform-stable.

@@ -38,15 +38,27 @@ Status DelegationEngine::IssueWithRetry(DbmsConnector* dc,
                                         const std::string& ddl) {
   const RetryPolicy policy =
       fed_ != nullptr ? fed_->retry_policy() : RetryPolicy::NoRetry();
-  int attempts = 0;
-  double backoff = 0;
-  Status st = RetryWithBackoff(
-      policy, [&] { return dc->Deploy(ddl); }, &attempts, &backoff);
-  if (fed_ != nullptr && (attempts > 1 || st.IsRetryable())) {
-    fed_->RecordRetry({server, "ddl", attempts, backoff, st.ok(),
-                       st.ok() ? std::string() : st.message()});
+  const double budget = fed_ != nullptr ? fed_->RemainingBudget() : -1.0;
+  RetryOutcome out = RetryWithBackoffBudget(
+      policy, [&] { return dc->Deploy(ddl); }, budget);
+  if (fed_ != nullptr) {
+    if (out.attempts > 1 || out.status.IsRetryable()) {
+      fed_->RecordRetry({server, "ddl", out.attempts, out.backoff_seconds,
+                         out.status.ok(),
+                         out.status.ok() ? std::string()
+                                         : out.status.message()});
+    }
+    // A DDL that failed because a foreign fetch inside it failed (e.g. a
+    // CTAS ingesting a remote stream) was already charged to the remote the
+    // fetch named; don't also blame the server running the DDL.
+    const bool remote_attributed =
+        !out.status.ok() &&
+        out.status.message().find("foreign fetch of ") != std::string::npos;
+    if (!remote_attributed) {
+      fed_->RecordHealthOutcome(server, out.attempts, out.status);
+    }
   }
-  return st;
+  return out.status;
 }
 
 Status DelegationEngine::Issue(const std::string& server,

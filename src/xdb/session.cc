@@ -67,6 +67,8 @@ Result<XdbReport> SessionManager::Run(XdbSession* session,
   ctx.ddl_prefix = session->ddl_prefix_;
   ctx.label = label;
   ctx.spans = session->spans();
+  ctx.deadline_seconds = options_.default_deadline_seconds;
+  ctx.allow_partial = options_.allow_partial;
   Result<XdbReport> result = xdb_->Query(sql, ctx);
 
   total_queries_.fetch_add(1, std::memory_order_relaxed);

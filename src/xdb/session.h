@@ -26,6 +26,15 @@ struct ServingOptions {
   /// per-session recording — sessions then share whatever recorder is on
   /// the federation, which interleaves timelines under concurrency.
   size_t session_span_capacity = 0;
+
+  /// Modelled-time deadline applied to every query served through this
+  /// manager (seconds; 0 = none). See QueryContext::deadline_seconds.
+  double default_deadline_seconds = 0;
+
+  /// Fleet-wide partial-results policy: served queries substitute empty
+  /// fragments for undeliverable non-root subtrees instead of failing
+  /// (QueryContext::allow_partial). Default off — bit-identical serving.
+  bool allow_partial = false;
 };
 
 /// \brief One client's connection to the federation: a DDL namespace, a

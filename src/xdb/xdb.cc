@@ -91,7 +91,13 @@ std::string XdbSystem::PlacementFingerprint() const {
          std::to_string(static_cast<int>(options_.planner.reorder_joins)) +
          std::to_string(static_cast<int>(options_.planner.prune_columns)) +
          std::to_string(static_cast<int>(options_.planner.push_down_filters)) +
-         std::to_string(static_cast<int>(options_.planner.bushy_joins));
+         std::to_string(static_cast<int>(options_.planner.bushy_joins)) +
+         // Health epoch: every breaker transition retires cached plans the
+         // way a placement-epoch bump does (":h0" with no tracker).
+         ":h" +
+         std::to_string(fed_->health_tracker() != nullptr
+                            ? fed_->health_tracker()->state_epoch()
+                            : 0);
 }
 
 void XdbSystem::CountPlanCache(bool hit, int evictions) {
@@ -181,12 +187,15 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   qs.retries = static_cast<int>(trace.retries.size());
   qs.replan_rounds = trace.replan_rounds;
   qs.recovery_action = trace.recovery_action;
+  qs.lost_fragments = static_cast<int>(trace.lost_fragments.size());
   if (result.ok()) {
     qs.prep_seconds = result->phases.prep;
     qs.lopt_seconds = result->phases.lopt;
     qs.ann_seconds = result->phases.ann;
     qs.exec_seconds = result->phases.exec;
     qs.plan_cache_hit = result->plan_cache_hit;
+    qs.partial = result->partial();
+    qs.completeness_fraction = result->completeness.completeness_fraction;
   } else {
     qs.error = result.status().message();
     qs.exec_seconds = trace.wasted_attempt_seconds +
@@ -254,6 +263,22 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
   // its bytes into the query log).
   *fail_trace = RunTrace();
 
+  // Arm this thread's modelled-time budget + partial-results policy. Retry
+  // backoff and injected delay charge automatically; planning phases and
+  // failed failover rounds are charged explicitly below. Disarmed on every
+  // exit path.
+  fed_->ArmQueryBudget(ctx.deadline_seconds, ctx.allow_partial);
+  struct DisarmBudget {
+    Federation* fed;
+    ~DisarmBudget() { fed->DisarmQueryBudget(); }
+  } disarm_budget{fed_};
+  auto budget_exhausted = [this] { return fed_->RemainingBudget() == 0.0; };
+  auto deadline_status = [&](const std::string& where) {
+    return Status::Timeout("query deadline (" +
+                           std::to_string(ctx.deadline_seconds) +
+                           "s of modelled time) exhausted " + where);
+  };
+
   GlobalCatalog::ResetThreadRoundtrips();
 
   // Observability is opt-in per federation; `spans == nullptr` keeps every
@@ -267,6 +292,19 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
   } finalize_spans{spans};
   SpanGuard query_span(spans, "query " + std::to_string(query_id));
   if (Span* sp = query_span.span()) sp->Tag("sql", sql);
+
+  // --- Circuit breakers: consult the health tracker once per query. ---
+  // Every open breaker seeds the planning constraints, so the planner
+  // routes around sick servers *before* touching them — the next query
+  // after a trip makes zero attempts against the tripped server. The
+  // consult may advance cooldowns (Open -> HalfOpen bumps the health
+  // epoch), so it must precede the fingerprint computation below.
+  PlacementConstraints constraints;
+  if (HealthTracker* health = fed_->health_tracker()) {
+    for (auto& sick : health->PlanningExclusions()) {
+      constraints.excluded_servers.insert(std::move(sick));
+    }
+  }
 
   // --- Delegation-plan cache probe. ---
   // A hit skips parsing, preparation, logical optimization, AND the
@@ -344,14 +382,19 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
     }
   }
 
+  // Preparation + logical optimization count against the deadline; failing
+  // here (rather than deep in a replan round) is the fail-fast path.
+  fed_->ChargeBudget(report.phases.prep + report.phases.lopt);
+  if (budget_exhausted()) return deadline_status("during preparation");
+
   // --- Plan annotation + delegation + execution, with failover. ---
   // A retryable failure (node down, link dead) excludes the implicated
   // placement/link and re-runs annotation + deployment on a fresh clone of
   // the logical plan, up to max_failover_alternates alternate rounds. The
   // recovery trail of failed rounds accumulates into the final trace.
-  PlacementConstraints constraints;
   RunTrace accum;  // recovery observed across failed rounds
   Status final_status = Status::OK();
+  bool deadline_hit = false;  // deadline ended the failover loop
   const int max_rounds = std::max(0, options_.max_failover_alternates);
   TimingModel model(fed_, TimingOptions{options_.scale_up});
 
@@ -382,7 +425,8 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
     // cached plan the annotator simply overwrites the stale placements.
     PlanPtr round_plan =
         cache_hit ? cached_plan->Clone() : plan->Clone();
-    const bool need_annotate = !cache_hit || round > 0;
+    const bool need_annotate =
+        !cache_hit || round > 0 || !constraints.empty();
     if (need_annotate) {
       Annotator annotator(connector_ptrs_, &fed_->network(),
                           static_cast<MovementPolicy>(
@@ -404,10 +448,17 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
       // DBMSes.
       report.phases.ann +=
           annotator.consultations() * options_.consultation_cost;
+      fed_->ChargeBudget(annotator.consultations() *
+                         options_.consultation_cost);
       if (!ann_st.ok()) {
         // Exclusions emptied the candidate set (kUnavailable) or the plan
         // is unannotatable outright — nothing left to try either way.
         final_status = std::move(ann_st);
+        break;
+      }
+      if (budget_exhausted()) {
+        deadline_hit = true;
+        final_status = deadline_status("during plan annotation");
         break;
       }
       // First successful unconstrained annotation: this plan is the one
@@ -462,6 +513,17 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
       }
       Result<TablePtr>& result = *exec_result;
       run_status = result.status();
+      // Root triggering is a single attempt (retry lives below in the
+      // fetch/DDL paths); its verdict still feeds the health tracker —
+      // except when the failure bubbled up from a foreign fetch, which
+      // already charged the remote it named. Blaming the (healthy) root
+      // too would trip every breaker on the path of one sick server.
+      const bool remote_attributed =
+          !run_status.ok() && run_status.message().find("foreign fetch of ") !=
+                                  std::string::npos;
+      if (!remote_attributed) {
+        fed_->RecordHealthOutcome(xdb_query->server, 1, run_status);
+      }
       if (result.ok()) {
         // The final result is the only data that leaves the federation.
         const bool enc_wire =
@@ -495,8 +557,26 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
         report.trace.excluded_servers.assign(
             constraints.excluded_servers.begin(),
             constraints.excluded_servers.end());
-        if (round > 0 && report.trace.recovery_action != "failed") {
+        if (round > 0 && report.trace.recovery_action != "failed" &&
+            report.trace.recovery_action != "degraded") {
           report.trace.recovery_action = "replanned";
+        }
+
+        // Completeness over the winning round only: a fragment lost in a
+        // *failed* round was re-fetched by the replan, so it doesn't make
+        // the result incomplete. Fragment-count based — est_rows of lost
+        // fragments are estimates, not ground truth.
+        report.completeness.lost = report.trace.lost_fragments;
+        report.completeness.complete = report.trace.lost_fragments.empty();
+        if (!report.completeness.complete) {
+          double delivered = 0;
+          for (const auto& t : report.trace.transfers) {
+            if (!t.failed) delivered += 1;
+          }
+          const double lost =
+              static_cast<double>(report.trace.lost_fragments.size());
+          report.completeness.completeness_fraction =
+              delivered / (delivered + lost);
         }
 
         report.ddl_statements = engine.ddl_count();
@@ -548,12 +628,24 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
     for (const auto& [srv, compute] : failed.per_server) {
       accum.per_server[srv].Add(compute);
     }
-    accum.wasted_attempt_seconds +=
-        model.ModelRun(failed).total +
-        engine.ddl_count() * options_.ddl_roundtrip_cost;
+    const double round_cost = model.ModelRun(failed).total +
+                              engine.ddl_count() * options_.ddl_roundtrip_cost;
+    accum.wasted_attempt_seconds += round_cost;
+    // Backoff and injected delay already charged themselves as they
+    // happened; the round's modelled execution time charges here.
+    fed_->ChargeBudget(round_cost);
 
     if (!run_status.IsRetryable() || round >= max_rounds) {
       final_status = std::move(run_status);
+      break;
+    }
+    if (budget_exhausted()) {
+      // Fail fast with kTimeout instead of burning further replan rounds
+      // the deadline can no longer pay for.
+      deadline_hit = true;
+      final_status = deadline_status(
+          "after " + std::to_string(round + 1) + " round(s): " +
+          run_status.message());
       break;
     }
 
@@ -605,7 +697,9 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
     placement_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   *fail_trace = std::move(accum);
-  if (final_status.IsRetryable() && !constraints.empty()) {
+  // A deadline timeout surfaces as kTimeout untouched — callers (and
+  // tests) distinguish "out of budget" from "ran out of alternates".
+  if (!deadline_hit && final_status.IsRetryable() && !constraints.empty()) {
     std::string unavailable;
     for (const auto& s : constraints.excluded_servers) {
       unavailable += (unavailable.empty() ? "" : ", ") + s;
@@ -623,13 +717,18 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
 }
 
 Result<TablePtr> XdbSystem::ExplainAnalyze(const std::string& sql) {
+  return ExplainAnalyze(sql, QueryContext{});
+}
+
+Result<TablePtr> XdbSystem::ExplainAnalyze(const std::string& sql,
+                                           const QueryContext& ctx) {
   // One profiler per component DBMS; detached again before returning so
   // subsequent queries go back to the unprofiled fast path.
   std::map<std::string, OperatorProfiler> profilers;
   for (const auto& name : fed_->ServerNames()) {
     fed_->GetServer(name)->set_profiler(&profilers[name]);
   }
-  Result<XdbReport> report = Query(sql);
+  Result<XdbReport> report = Query(sql, ctx);
   for (const auto& name : fed_->ServerNames()) {
     fed_->GetServer(name)->set_profiler(nullptr);
   }
@@ -653,6 +752,23 @@ Result<TablePtr> XdbSystem::ExplainAnalyze(const std::string& sql) {
                 trace.UsefulTransferredBytes(),
                 trace.WastedTransferredBytes());
   emit(buf);
+  // Completeness section: only for partial results, so complete runs stay
+  // byte-identical to before graceful degradation existed.
+  if (report->partial()) {
+    std::snprintf(buf, sizeof(buf),
+                  "completeness: PARTIAL (%.0f%% of fragments delivered, "
+                  "%zu lost)",
+                  report->completeness.completeness_fraction * 100.0,
+                  report->completeness.lost.size());
+    emit(buf);
+    for (const auto& l : report->completeness.lost) {
+      std::snprintf(buf, sizeof(buf),
+                    "  lost %s@%s -> %s (%s, est %.0f rows)",
+                    l.relation.c_str(), l.server.c_str(), l.consumer.c_str(),
+                    l.reason.c_str(), l.est_rows);
+      emit(buf);
+    }
+  }
   // Wire-encoding summary: only when something actually shipped encoded,
   // so raw-mode output stays byte-identical to before the columnar wire.
   bool any_encoded = false;

@@ -79,6 +79,23 @@ struct QueryContext {
   /// Installed thread-locally for the duration of the query so concurrent
   /// sessions each record their own timeline.
   SpanRecorder* spans = nullptr;
+
+  /// Modelled-time deadline for the whole query (seconds; 0 = none). The
+  /// budget is threaded through planning phases, retry backoff, injected
+  /// fault delay, and failover replanning: a retry loop stops when the
+  /// remaining budget cannot cover the next backoff, and when the budget
+  /// runs out the query fails fast with kTimeout (or degrades under
+  /// allow_partial) instead of burning further replan rounds. A round that
+  /// completes successfully still returns its result even if it finished
+  /// over budget — the deadline stops new work, not finished work.
+  double deadline_seconds = 0;
+
+  /// Opt-in partial results: when a non-root fragment cannot be delivered
+  /// (producer down, link dead after retries, deadline expired), an empty
+  /// fragment is substituted and the query returns the surviving rows with
+  /// a ResultCompleteness annotation instead of failing. Default off —
+  /// behaviour and every modelled number stay bit-identical.
+  bool allow_partial = false;
 };
 
 /// \brief Per-phase modelled times, matching the paper's Figure 15 buckets.
@@ -107,8 +124,13 @@ struct XdbReport {
   int ddl_statements = 0;
   bool plan_cache_hit = false;  // annotated plan served from the cache
 
+  /// Which fragments made it (always complete unless the query ran with
+  /// allow_partial and lost a subtree).
+  ResultCompleteness completeness;
+
   double total_seconds() const { return phases.total(); }
   double transferred_bytes() const { return trace.TotalTransferredBytes(); }
+  bool partial() const { return !completeness.complete; }
 };
 
 /// \brief The XDB middleware: optimizer + delegation engine over a
@@ -146,6 +168,11 @@ class XdbSystem {
   /// seconds (at the configured scale-up). Purely observational: the
   /// underlying Query() produces bit-identical results and modelled times.
   Result<TablePtr> ExplainAnalyze(const std::string& sql);
+
+  /// ExplainAnalyze under an explicit context (deadline / allow_partial /
+  /// session namespace); partial results gain a completeness section.
+  Result<TablePtr> ExplainAnalyze(const std::string& sql,
+                                  const QueryContext& ctx);
 
   GlobalCatalog& catalog() { return *catalog_; }
   DbmsConnector* connector(const std::string& server) const;

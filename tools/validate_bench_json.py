@@ -110,8 +110,10 @@ REPORT_KEYS = {
     "consultations",
     "ddl_statements",
     "result_rows",
+    "completeness",
     "trace",
 }
+COMPLETENESS_KEYS = {"complete", "completeness_fraction", "lost"}
 TRACE_KEYS = {
     "root_server",
     "root_compute",
@@ -123,6 +125,7 @@ TRACE_KEYS = {
     "wasted_attempt_seconds",
     "replan_rounds",
     "excluded_servers",
+    "lost_fragments",
     "recovery_action",
     "useful_bytes",
     "wasted_bytes",
@@ -130,6 +133,8 @@ TRACE_KEYS = {
     "raw_bytes",
     "total_rows",
 }
+LOST_FRAGMENT_KEYS = {"relation", "server", "consumer", "reason", "est_rows"}
+LOSS_REASONS = {"node-down", "link-drop", "deadline"}
 COMPUTE_KEYS = {
     "scan_rows",
     "foreign_rows",
@@ -159,7 +164,9 @@ TRANSFER_KEYS = {
     "failed",
     "producer_compute",
 }
-RECOVERY_ACTIONS = {"none", "retried", "rolled-back", "replanned", "failed"}
+RECOVERY_ACTIONS = {
+    "none", "retried", "rolled-back", "replanned", "degraded", "failed"
+}
 
 
 class Validator:
@@ -216,6 +223,18 @@ class Validator:
                 self.error(f"{path}.{key}", "expected bool")
         self.check_compute(obj["producer_compute"], f"{path}.producer_compute")
 
+    def check_lost_fragment(self, obj, path):
+        if not self.require_keys(obj, LOST_FRAGMENT_KEYS, path):
+            return
+        for key in ("relation", "server", "consumer"):
+            if not isinstance(obj[key], str) or not obj[key]:
+                self.error(f"{path}.{key}", "expected non-empty string")
+        if obj.get("reason") not in LOSS_REASONS:
+            self.error(f"{path}.reason",
+                       f"expected one of {sorted(LOSS_REASONS)}, "
+                       f"got {obj.get('reason')!r}")
+        self.require_number(obj, "est_rows", path, minimum=0)
+
     def check_trace(self, trace, path):
         if not self.require_keys(trace, TRACE_KEYS, path):
             return
@@ -236,6 +255,11 @@ class Validator:
         else:
             for server, compute in trace["per_server"].items():
                 self.check_compute(compute, f"{path}.per_server[{server}]")
+        if not isinstance(trace["lost_fragments"], list):
+            self.error(f"{path}.lost_fragments", "expected array")
+        else:
+            for i, l in enumerate(trace["lost_fragments"]):
+                self.check_lost_fragment(l, f"{path}.lost_fragments[{i}]")
         if trace.get("recovery_action") not in RECOVERY_ACTIONS:
             self.error(f"{path}.recovery_action",
                        f"expected one of {sorted(RECOVERY_ACTIONS)}, "
@@ -276,6 +300,22 @@ class Validator:
         for key in ("metadata_roundtrips", "consultations", "ddl_statements",
                     "result_rows"):
             self.require_number(report, key, path, minimum=0)
+        comp = report["completeness"]
+        cpath = f"{path}.completeness"
+        if self.require_keys(comp, COMPLETENESS_KEYS, cpath):
+            if not isinstance(comp["complete"], bool):
+                self.error(f"{cpath}.complete", "expected bool")
+            frac = self.require_number(comp, "completeness_fraction", cpath,
+                                       minimum=0)
+            if frac is not None and frac > 1 + 1e-9:
+                self.error(f"{cpath}.completeness_fraction",
+                           f"expected <= 1, got {frac}")
+            lost = self.require_number(comp, "lost", cpath, minimum=0)
+            # A complete result has every fragment and vice versa.
+            if (isinstance(comp["complete"], bool) and lost is not None
+                    and comp["complete"] != (lost == 0)):
+                self.error(f"{cpath}.complete",
+                           f"complete={comp['complete']} but lost={lost}")
         self.check_trace(report["trace"], f"{path}.trace")
 
     def check_file(self, doc):

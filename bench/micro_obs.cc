@@ -5,6 +5,14 @@
 // increment, histogram observe). The detached pipeline numbers should be
 // indistinguishable from a build without the hooks; the attached ones show
 // what EXPLAIN ANALYZE / --trace / --metrics actually pay.
+//
+// With --json the wall-clock micro loops are skipped and a deterministic
+// hook-parity pass runs instead (the CI watchdog artifact): the same query
+// executes with the observability stack fully detached and fully attached
+// (spans + metrics + query log + per-operator profilers), asserting that
+// modelled seconds and transfer bytes are bit-identical and recording both
+// reports — the attached one carries the full estimate-vs-actual ledger —
+// for comparison against bench/baseline artifacts.
 
 #include <benchmark/benchmark.h>
 
@@ -118,6 +126,29 @@ void BM_PipelineMetricsAttached(benchmark::State& state) {
 BENCHMARK(BM_PipelineMetricsAttached)->Name("xdb_pipeline/metrics_attached")
     ->Unit(benchmark::kMillisecond);
 
+void BM_PipelineAccountability(benchmark::State& state) {
+  // QueryLog attached, profilers detached: every query banks its transfer
+  // estimate-vs-actual ledger and runs the misestimate check. The delta vs
+  // xdb_pipeline/no_observers is what the accountability plane costs on the
+  // plain (unprofiled) query path.
+  auto fed = tpch::BuildTpchFederation(kMicroSf, tpch::TD1());
+  XdbSystem xdb(fed.get());
+  QueryLog log(64);
+  fed->SetQueryLog(&log);
+  const auto& sql = tpch::FindQuery("Q3")->sql;
+  for (auto _ : state) {
+    auto r = xdb.Query(sql);
+    benchmark::DoNotOptimize(r);
+  }
+  auto entries = log.SnapshotEntries();
+  state.counters["ledger_records"] = benchmark::Counter(
+      entries.empty() ? 0.0
+                      : static_cast<double>(entries.back().estimates.size()));
+}
+BENCHMARK(BM_PipelineAccountability)
+    ->Name("xdb_pipeline/accountability_ledger")
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PipelineProfiled(benchmark::State& state) {
   // Per-operator profiling on every component DBMS — the EXPLAIN ANALYZE
   // hot path, without the rendering.
@@ -143,8 +174,100 @@ void BM_PipelineProfiled(benchmark::State& state) {
 BENCHMARK(BM_PipelineProfiled)->Name("xdb_pipeline/operators_profiled")
     ->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// Deterministic hook-parity pass (the --json CI watchdog artifact). One
+// query runs with the observability stack detached and then fully attached;
+// modelled numbers must be bit-identical, and the attached run's estimate
+// ledger (per-operator + transfer est/act/q-error records) rides into the
+// JSON for baseline comparison.
+// --------------------------------------------------------------------------
+
+void RunHookParityScenarios() {
+  PrintHeader("Observability hook parity (TD1, SF 0.002)");
+  JsonReport& json = JsonReport::Instance();
+  const auto& sql = tpch::FindQuery("Q3")->sql;
+
+  // Detached: no observers anywhere — the reference numbers.
+  XdbReport detached;
+  {
+    auto fed = tpch::BuildTpchFederation(kMicroSf, tpch::TD1());
+    XdbSystem xdb(fed.get());
+    auto r = xdb.Query(sql);
+    if (!r.ok()) {
+      std::printf("detached query FAILED: %s\n",
+                  r.status().ToString().c_str());
+      return;
+    }
+    detached = *r;
+    json.Record("XDB/hooks-detached", sql, *r);
+  }
+
+  // Attached: spans + metrics + query log + a per-operator profiler on
+  // every component DBMS (the EXPLAIN ANALYZE configuration). Local sinks
+  // stand in when the corresponding CLI flag did not supply one.
+  {
+    auto fed = tpch::BuildTpchFederation(kMicroSf, tpch::TD1());
+    SpanRecorder local_spans;
+    MetricsRegistry local_metrics;
+    QueryLog local_log(64);
+    fed->SetSpanRecorder(json.spans() != nullptr ? json.spans()
+                                                 : &local_spans);
+    fed->SetMetricsRegistry(json.metrics() != nullptr ? json.metrics()
+                                                      : &local_metrics);
+    QueryLog* qlog =
+        json.query_log() != nullptr ? json.query_log() : &local_log;
+    fed->SetQueryLog(qlog);
+    std::map<std::string, OperatorProfiler> profilers;
+    for (const auto& name : fed->ServerNames()) {
+      fed->GetServer(name)->set_profiler(&profilers[name]);
+    }
+    XdbSystem xdb(fed.get());
+    auto r = xdb.Query(sql);
+    if (!r.ok()) {
+      std::printf("attached query FAILED: %s\n",
+                  r.status().ToString().c_str());
+      return;
+    }
+    json.Record("XDB/hooks-attached", sql, *r);
+
+    const bool parity =
+        r->phases.total() == detached.phases.total() &&
+        r->trace.TotalTransferredBytes() ==
+            detached.trace.TotalTransferredBytes() &&
+        r->result->num_rows() == detached.result->num_rows();
+    std::printf("parity: %s — attached %.6fs / %.0f B vs detached "
+                "%.6fs / %.0f B\n",
+                parity ? "BIT-IDENTICAL" : "DIVERGED", r->phases.total(),
+                r->trace.TotalTransferredBytes(), detached.phases.total(),
+                detached.trace.TotalTransferredBytes());
+    size_t operators = 0;
+    for (const auto& [name, prof] : profilers) {
+      operators += prof.records().size();
+    }
+    std::printf("accountability: %zu profiled operator(s), %zu estimate "
+                "ledger record(s), max q-error %.2f\n",
+                operators, r->trace.estimates.size(),
+                r->trace.MaxQError());
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace xdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  xdb::bench::JsonReport::Instance().Init(argc, argv, "micro_obs");
+  if (xdb::bench::JsonReport::Instance().enabled()) {
+    // CI watchdog mode: only the deterministic parity pass, whose JSON is
+    // comparable against a committed baseline.
+    xdb::bench::RunHookParityScenarios();
+    xdb::bench::JsonReport::Instance().Flush();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  xdb::bench::RunHookParityScenarios();
+  xdb::bench::JsonReport::Instance().Flush();
+  return 0;
+}

@@ -10,6 +10,11 @@
 //   \trace <file>   dump the last query's span timeline as Chrome trace JSON
 //   \stats          query history: per-query modelled time, bytes, recovery
 //   \stats <label>  per-label drill-down: aggregates, runs, drift events
+//   \qerror [label] misestimate drill-down: queries whose worst operator
+//                   q-error crossed the threshold, with the offending
+//                   operator and its predicate shape
+//   \calibrate <file> dump the estimator calibration log (JSON feature /
+//                   outcome pairs for every observed operator and transfer)
 //   \metrics        Prometheus exposition of every labeled counter
 //   \wire [fmt]     show or set the transfer format: raw | columnar
 //                   (columnar ships compressed column chunks; \stats and
@@ -81,7 +86,8 @@ int main() {
 
   std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
               "\\ddl <sql>, \\analyze <sql>, \\trace <file>, \\stats, "
-              "\\metrics, \\wire, \\deadline, \\partial, \\health, \\quit\n");
+              "\\qerror, \\calibrate, \\metrics, \\wire, \\deadline, "
+              "\\partial, \\health, \\quit\n");
 
   // Shell-level degradation knobs, applied to every query until changed.
   double deadline_seconds = 0;
@@ -108,6 +114,26 @@ int main() {
       for (const auto& l : history.LabelDrilldown(label)) {
         std::printf("%s\n", l.c_str());
       }
+      continue;
+    }
+    if (line == "\\qerror" || StartsWith(line, "\\qerror ")) {
+      std::string label = line.size() > 7 ? Trim(line.substr(8)) : "";
+      for (const auto& l : history.QErrorDrilldown(label)) {
+        std::printf("%s\n", l.c_str());
+      }
+      continue;
+    }
+    if (StartsWith(line, "\\calibrate")) {
+      std::string path = Trim(line.substr(10));
+      if (path.empty()) path = "xdbcli_calibration.json";
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("error: cannot write %s\n", path.c_str());
+        continue;
+      }
+      out << xdb.ExportCalibrationLog();
+      std::printf("wrote calibration log (feature/outcome pairs of the "
+                  "retained history) to %s\n", path.c_str());
       continue;
     }
     if (line == "\\metrics") {

@@ -62,6 +62,31 @@ void Federation::BeginRun(const std::string& root_server) {
 
 RunTrace Federation::FinishRun() {
   RunState& rs = ThreadRun();
+  // Join delivered transfers with their planning-time estimates: failed
+  // transfers (and replanned-away rounds — each round is its own run) never
+  // enter the ledger, so estimates always describe executed work.
+  for (const auto& t : rs.run.transfers) {
+    // messages == 0 is the remote-evaluation-failure pop: nothing was
+    // delivered, so there is no actual to hold the estimate against.
+    if (t.failed || t.est_rows < 0 || t.messages == 0) continue;
+    EstimateActual ea;
+    ea.op = "transfer";
+    ea.server = t.src + "->" + t.dst;
+    ea.detail = t.relation;
+    ea.est_rows = t.est_rows;
+    ea.act_rows = t.rows;
+    ea.est_bytes = std::max(0.0, t.est_bytes);
+    ea.act_bytes = t.bytes;
+    ea.q_error = QError(t.est_rows, t.rows);
+    if (metrics_ != nullptr) {
+      m_.qerror->Observe(ea.q_error);
+      QErrorHistogram(ea.op, ea.server)->Observe(ea.q_error);
+      double berr = QError(ea.est_bytes, ea.act_bytes);
+      m_.bytes_error->Observe(berr);
+      BytesErrorHistogram(ea.server)->Observe(berr);
+    }
+    rs.run.estimates.push_back(std::move(ea));
+  }
   rs.active = false;
   rs.owner = nullptr;
   rs.run.per_server[rs.run.root_server].Add(rs.run.root_compute);
@@ -142,6 +167,33 @@ Histogram* Federation::LinkHistogram(const std::string& link) {
   return it->second;
 }
 
+Histogram* Federation::QErrorHistogram(const std::string& op,
+                                       const std::string& server) {
+  std::string key = op + "|" + server;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  auto it = m_.qerror_by_cell.find(key);
+  if (it == m_.qerror_by_cell.end()) {
+    it = m_.qerror_by_cell
+             .emplace(key, metrics_->GetHistogram(
+                               "xdb_qerror",
+                               {{"op", op}, {"server", server}}, {}))
+             .first;
+  }
+  return it->second;
+}
+
+Histogram* Federation::BytesErrorHistogram(const std::string& link) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  auto it = m_.bytes_error_by_link.find(link);
+  if (it == m_.bytes_error_by_link.end()) {
+    it = m_.bytes_error_by_link
+             .emplace(link, metrics_->GetHistogram("xdb_bytes_error",
+                                                   {{"link", link}}, {}))
+             .first;
+  }
+  return it->second;
+}
+
 namespace {
 /// Collapses every digit run to '*' so per-query deployed-view names
 /// (xdb_q12_t4, xdb_q12_t7, ...) share one label cell: the gauge tracks
@@ -189,7 +241,8 @@ ComputeTrace* Federation::CurrentTrace() {
 }
 
 int Federation::PushFetch(const std::string& src, const std::string& dst,
-                          const std::string& relation) {
+                          const std::string& relation, double est_rows,
+                          double est_bytes) {
   RunState& rs = ThreadRun();
   if (!ActiveHere(rs)) {
     rs.stack.push_back({-1, -1, ComputeTrace{}});
@@ -201,6 +254,8 @@ int Federation::PushFetch(const std::string& src, const std::string& dst,
   rec.src = src;
   rec.dst = dst;
   rec.relation = relation;
+  rec.est_rows = est_rows;
+  rec.est_bytes = est_bytes;
   rs.run.transfers.push_back(rec);
   int64_t span_id = -1;
   SpanRecorder* spans = span_recorder();
@@ -345,6 +400,17 @@ void Federation::MarkTransferFailed(int id) {
   rs.run.transfers[idx].failed = true;
 }
 
+void Federation::RecordEstimate(EstimateActual record) {
+  record.q_error = QError(record.est_rows, record.act_rows);
+  if (metrics_ != nullptr) {
+    m_.qerror->Observe(record.q_error);
+    QErrorHistogram(record.op, record.server)->Observe(record.q_error);
+  }
+  RunState& rs = ThreadRun();
+  if (!ActiveHere(rs)) return;
+  rs.run.estimates.push_back(std::move(record));
+}
+
 void Federation::RecordControlMessage(const std::string& a,
                                       const std::string& b, double bytes) {
   network_.RecordTransfer(a, b, bytes, 1);
@@ -391,6 +457,12 @@ void Federation::SetMetricsRegistry(MetricsRegistry* registry) {
       "xdb_federation_transfer_bytes",
       {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
       "Per-transfer payload size distribution");
+  m_.qerror = registry->GetHistogram(
+      "xdb_qerror", {1.5, 2, 4, 8, 16, 64, 256, 1024},
+      "Cardinality q-error of planner estimates vs observed rows");
+  m_.bytes_error = registry->GetHistogram(
+      "xdb_bytes_error", {1.5, 2, 4, 8, 16, 64, 256, 1024},
+      "Byte-volume q-error of transfer estimates vs wire bytes");
   if (health_ != nullptr) health_->SetMetricsRegistry(registry);
 }
 

@@ -220,8 +220,12 @@ class Federation {
 
   /// Opens a transfer record for a fetch of `relation` from `src` by `dst`
   /// and pushes a fresh producer-compute frame. Returns the record id.
+  /// `est_rows`/`est_bytes` are the planner's stamped estimates for the
+  /// transfer (wire-inflation basis for bytes); -1 means unstamped, and the
+  /// transfer then never contributes to the estimate ledger.
   int PushFetch(const std::string& src, const std::string& dst,
-                const std::string& relation);
+                const std::string& relation, double est_rows = -1,
+                double est_bytes = -1);
 
   /// Closes the transfer record: fills in observed volume and pops the
   /// producer frame (attributing it to `src` in per-server totals).
@@ -230,6 +234,13 @@ class Federation {
   /// default) for raw-row transfers, where it equals `bytes`.
   void PopFetch(int id, double rows, double bytes, uint64_t messages,
                 bool materialized, double raw_bytes = -1);
+
+  /// Appends one estimate-vs-actual record to the active run's ledger
+  /// (dropped when none) and observes its cardinality q-error — computed
+  /// here from est/act rows — on `xdb_qerror{op=,server=}`. Called by the
+  /// servers after a profiled statement; the fetch path feeds the ledger
+  /// through PushFetch estimates instead.
+  void RecordEstimate(EstimateActual record);
 
   /// Accounts a small control-plane round trip (metadata, DDL, EXPLAIN).
   void RecordControlMessage(const std::string& a, const std::string& b,
@@ -296,6 +307,8 @@ class Federation {
     Counter* injected_delay_seconds = nullptr;
     Counter* ddl = nullptr;
     Histogram* transfer_bytes = nullptr;
+    Histogram* qerror = nullptr;       // cardinality q-error, all operators
+    Histogram* bytes_error = nullptr;  // transfer byte-volume q-error
 
     std::map<std::string, Counter*> fetches_by_server;
     std::map<std::string, Counter*> fetch_rows_by_server;
@@ -307,6 +320,11 @@ class Federation {
     std::map<std::string, Counter*> useful_by_link;
     std::map<std::string, Counter*> wasted_by_link;
     std::map<std::string, Histogram*> transfer_bytes_by_link;
+    // Estimate-accountability cells: q-error keyed by "op|server", byte
+    // error keyed by link. Cardinality is bounded by operator kinds times
+    // topology size.
+    std::map<std::string, Histogram*> qerror_by_cell;
+    std::map<std::string, Histogram*> bytes_error_by_link;
     // Per-relation compression-ratio gauges (columnar wire only). Keyed by
     // the digit-normalized relation name (xdb_q12_t4 -> xdb_q*_t*) so
     // deployed-view names don't blow up label cardinality.
@@ -324,6 +342,12 @@ class Federation {
                     const std::string& src, const std::string& dst);
   /// Memoized `{link=...}` cell of the transfer-bytes histogram.
   Histogram* LinkHistogram(const std::string& link);
+
+  /// Memoized `{op=,server=}` cell of the xdb_qerror histogram.
+  Histogram* QErrorHistogram(const std::string& op,
+                             const std::string& server);
+  /// Memoized `{link=...}` cell of the xdb_bytes_error histogram.
+  Histogram* BytesErrorHistogram(const std::string& link);
 
   /// Memoized `{relation=...}` gauge of the compression-ratio family.
   Gauge* CompressionGauge(const std::string& relation);

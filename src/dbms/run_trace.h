@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -7,6 +8,35 @@
 #include "src/exec/executor.h"
 
 namespace xdb {
+
+/// \brief The q-error of a cardinality (or byte) estimate: the factor by
+/// which it missed, symmetric in direction and always >= 1. Both sides are
+/// clamped to 1 so empty relations and zero-row actuals stay well-defined.
+inline double QError(double est, double act) {
+  double e = std::max(est, 1.0);
+  double a = std::max(act, 1.0);
+  return std::max(e / a, a / e);
+}
+
+/// \brief One planning-time estimate joined with its observed outcome.
+///
+/// Emitted onto the active RunTrace by the operator profiler (one record per
+/// profiled operator) and by the fetch path (op == "transfer", one record per
+/// delivered transfer whose producing scan was stamped). The q-error is the
+/// cardinality error; byte error is derivable from est_bytes/act_bytes.
+struct EstimateActual {
+  std::string op;      // operator kind ("Scan", "Join", ...) or "transfer"
+  std::string server;  // executing DBMS, or "src->dst" link for transfers
+  std::string detail;  // operator label / fetched relation (drill-down key)
+  double est_input_rows = 0;  // planning-time input cardinality (features)
+  double est_rows = 0;
+  double act_rows = 0;
+  double est_seconds = 0;  // modelled seconds under estimated cardinalities
+  double act_seconds = 0;  // modelled seconds under observed cardinalities
+  double est_bytes = 0;    // estimated wire/output bytes
+  double act_bytes = 0;    // observed wire/output bytes
+  double q_error = 1.0;    // QError(est_rows, act_rows)
+};
 
 /// \brief One inter-DBMS transfer observed during a query run.
 ///
@@ -29,6 +59,10 @@ struct TransferRecord {
   bool encoded = false;   // shipped as compressed column chunks
   bool materialized = false;  // consumer wrote it to a local table (CTAS)
   bool failed = false;        // link dropped mid-transfer; bytes were wasted
+  double est_rows = -1;   // planner's row estimate for this transfer
+                          // (-1 when the producing scan was never stamped)
+  double est_bytes = -1;  // planner's wire-byte estimate (same inflation
+                          // basis as `bytes`; -1 when unstamped)
 
   /// Compute performed by the producer to serve this fetch (excluding
   /// compute already attributed to nested fetches).
@@ -95,6 +129,18 @@ struct RunTrace {
   /// Most significant recovery action taken: "none" < "retried" <
   /// "rolled-back" < "replanned" < "degraded" < "failed".
   std::string recovery_action = "none";
+
+  /// Estimate-vs-actual ledger for the winning round: transfer records are
+  /// always present when plans were stamped; per-operator records appear
+  /// when an OperatorProfiler was attached to the executing server.
+  std::vector<EstimateActual> estimates;
+
+  /// Worst cardinality q-error across the ledger (0 when it is empty).
+  double MaxQError() const {
+    double q = 0;
+    for (const auto& e : estimates) q = std::max(q, e.q_error);
+    return q;
+  }
 
   /// All bytes that hit the wire, delivered or not. Equals
   /// UsefulTransferredBytes() + WastedTransferredBytes().

@@ -129,7 +129,8 @@ Result<TablePtr> DatabaseServer::Context::GetLocalTable(
 }
 
 Result<TablePtr> DatabaseServer::Context::ForeignFetch(
-    const std::string& server, const std::string& relation) {
+    const std::string& server, const std::string& relation, double est_rows,
+    double est_bytes) {
   Federation* fed = server_->fed_;
   DatabaseServer* remote = fed->GetServer(server);
   if (remote == nullptr) {
@@ -139,6 +140,12 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
     return Status::NetworkError("no connectivity between " +
                                 server_->name_ + " and " + server);
   }
+  double inflation = std::max(server_->profile_.wire_inflation,
+                              remote->profile().wire_inflation);
+  // The planner's byte estimate is in serialized row-format bytes; put it
+  // on the same wire-inflation basis as the observed charge so the byte
+  // q-error reflects cardinality/width error, not protocol constants.
+  double est_wire_bytes = est_bytes < 0 ? -1 : est_bytes * inflation;
 
   // One fetch attempt end to end: fault gate, request message, remote
   // evaluation, wire transfer (which an injected link drop can abort
@@ -149,15 +156,14 @@ Result<TablePtr> DatabaseServer::Context::ForeignFetch(
         fed->InjectFault(server, FaultOp::kFetch, server_->name_));
     // Request message (the `SELECT * FROM relation` text).
     fed->network().RecordTransfer(server_->name_, server, 128.0, 1);
-    int id = fed->PushFetch(server, server_->name_, relation);
+    int id = fed->PushFetch(server, server_->name_, relation, est_rows,
+                            est_wire_bytes);
     Result<TablePtr> result = remote->ServeRemote(relation);
     if (!result.ok()) {
       fed->PopFetch(id, 0, 0, 0, false);
       return result.status();
     }
     TablePtr t = std::move(result).value();
-    double inflation = std::max(server_->profile_.wire_inflation,
-                                remote->profile().wire_inflation);
     double raw_bytes = static_cast<double>(t->SerializedSize()) * inflation;
     // Columnar wire: ship the compressed chunk encoding instead of inflated
     // row text. min() guards the (rare) payload whose encoded form is not
@@ -330,16 +336,77 @@ Result<PlanPtr> DatabaseServer::Resolve(const std::string& db,
 
 Result<PlanPtr> DatabaseServer::PlanQuery(const sql::SelectStmt& stmt) {
   Planner planner(this);
-  return planner.Plan(stmt);
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, planner.Plan(stmt));
+  // Stamp planning-time estimates on every node before execution: the
+  // executor threads them into transfer records, and an attached profiler
+  // joins them with observed cardinalities (estimation accountability).
+  // One bottom-up pass over a small plan — observationally free.
+  Estimator().StampEstimates(*plan);
+  return plan;
 }
 
 // ---------------------------------------------------------------------------
 // Declarative interface
 // ---------------------------------------------------------------------------
 
+namespace {
+const char* OperatorName(const OperatorStats& s) {
+  switch (s.kind) {
+    case PlanKind::kScan:
+      return s.is_foreign ? "ForeignScan" : "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kPlaceholder:
+      return "Placeholder";
+  }
+  return "Unknown";
+}
+}  // namespace
+
 Result<TablePtr> DatabaseServer::ExecutePlanHere(const PlanNode& plan) {
   Context ctx(this);
-  return ExecutePlan(plan, &ctx);
+  OperatorProfiler* prof = profiler();
+  if (prof == nullptr) return ExecutePlan(plan, &ctx);
+  // With a profiler attached, join each newly-profiled operator's stamped
+  // estimate with its observed cardinality and bank the divergence on the
+  // active run. The watermark scopes the join to this statement, so a
+  // profiler attached across a whole bench run never double-emits.
+  size_t mark = prof->records().size();
+  Result<TablePtr> result = ExecutePlan(plan, &ctx);
+  if (result.ok()) {
+    for (size_t i = mark; i < prof->records().size(); ++i) {
+      const OperatorStats& s = prof->records()[i];
+      if (s.est_rows < 0) continue;
+      EstimateActual ea;
+      ea.op = OperatorName(s);
+      ea.server = name_;
+      ea.detail = s.label;
+      ea.est_input_rows = s.est_input_rows;
+      ea.est_rows = s.est_rows;
+      ea.act_rows = s.output_rows;
+      ea.est_seconds = OperatorProfiler::EstimatedSeconds(s, profile_);
+      ea.act_seconds = OperatorProfiler::ModelledSeconds(s, profile_);
+      ea.est_bytes = s.est_bytes;
+      // Per-operator output bytes are not observed (intermediates are
+      // row-format); observed rows at the planned width keeps the byte
+      // fields cardinality-accountable without serializing every operator.
+      ea.act_bytes = s.output_rows * (s.est_rows > 0
+                                          ? s.est_bytes / s.est_rows
+                                          : 0.0);
+      fed_->RecordEstimate(std::move(ea));
+    }
+  }
+  return result;
 }
 
 Result<TablePtr> DatabaseServer::ExecuteQuery(const std::string& sql) {
@@ -353,6 +420,9 @@ Result<TablePtr> DatabaseServer::ExecuteQuery(const std::string& sql) {
 
 Result<TablePtr> DatabaseServer::ServeRemote(const std::string& relation) {
   XDB_ASSIGN_OR_RETURN(PlanPtr plan, Resolve("", relation));
+  // Resolve() hands back unstamped plans (base scans, expanded views);
+  // stamp here so delegated-view evaluation is accountable too.
+  Estimator().StampEstimates(*plan);
   return ExecutePlanHere(*plan);
 }
 

@@ -143,7 +143,9 @@ class DatabaseServer : public RelationResolver {
     explicit Context(DatabaseServer* server) : server_(server) {}
     Result<TablePtr> GetLocalTable(const std::string& table) override;
     Result<TablePtr> ForeignFetch(const std::string& server,
-                                  const std::string& relation) override;
+                                  const std::string& relation,
+                                  double est_rows = -1,
+                                  double est_bytes = -1) override;
     ComputeTrace* trace() override;
     int exec_threads() const override;
     OperatorProfiler* profiler() override;

@@ -543,7 +543,11 @@ Result<TablePtr> ExecutePlanNode(const PlanNode& plan, ExecContext* ctx) {
       if (plan.is_foreign) {
         XDB_ASSIGN_OR_RETURN(
             TablePtr t,
-            ctx->ForeignFetch(plan.foreign_server, plan.remote_relation));
+            ctx->ForeignFetch(plan.foreign_server, plan.remote_relation,
+                              plan.est_rows,
+                              plan.est_rows >= 0
+                                  ? plan.est_rows * plan.est_width
+                                  : -1));
         trace->foreign_rows += static_cast<double>(t->num_rows());
         return t;
       }

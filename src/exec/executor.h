@@ -48,8 +48,13 @@ class ExecContext {
   virtual Result<TablePtr> GetLocalTable(const std::string& name) = 0;
 
   /// Fetches `SELECT * FROM relation` from a remote server (foreign scan).
+  /// `est_rows`/`est_bytes` carry the planner's stamped estimate for the
+  /// scan node driving the fetch (-1 when the plan was never stamped);
+  /// implementations attribute them to the transfer they record.
   virtual Result<TablePtr> ForeignFetch(const std::string& server,
-                                        const std::string& relation) = 0;
+                                        const std::string& relation,
+                                        double est_rows = -1,
+                                        double est_bytes = -1) = 0;
 
   /// Row-flow counters for this execution.
   virtual ComputeTrace* trace() = 0;

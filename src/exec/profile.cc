@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/str_util.h"
+#include "src/dbms/run_trace.h"
 
 namespace xdb {
 
@@ -16,6 +17,13 @@ size_t OperatorProfiler::Enter(const PlanNode& node) {
   s.kind = node.kind;
   s.depth = static_cast<int>(open_.size());
   s.is_foreign = node.kind == PlanKind::kScan && node.is_foreign;
+  s.est_rows = node.est_rows;
+  if (node.est_rows >= 0) {
+    s.est_bytes = node.est_rows * node.est_width;
+    for (const auto& child : node.children) {
+      s.est_input_rows += std::max(0.0, child->est_rows);
+    }
+  }
   records_.push_back(std::move(s));
   open_.push_back(records_.size() - 1);
   return records_.size() - 1;
@@ -67,6 +75,21 @@ double OperatorProfiler::ModelledSeconds(const OperatorStats& s,
   return rows * scale_up;
 }
 
+double OperatorProfiler::EstimatedSeconds(const OperatorStats& s,
+                                          const EngineProfile& p,
+                                          double scale_up) {
+  if (s.est_rows < 0) return 0;
+  // Re-run the ModelledSeconds weights over the stamped cardinalities. The
+  // join formula only consumes build + probe + output, so the combined
+  // input estimate stands in for the per-side split.
+  OperatorStats est = s;
+  est.input_rows = s.est_input_rows;
+  est.output_rows = s.est_rows;
+  est.build_rows = s.est_input_rows;
+  est.probe_rows = 0;
+  return ModelledSeconds(est, p, scale_up);
+}
+
 std::vector<std::string> OperatorProfiler::Render(const EngineProfile& p,
                                                   double scale_up) const {
   std::vector<std::string> lines;
@@ -98,6 +121,15 @@ std::vector<std::string> OperatorProfiler::Render(const EngineProfile& p,
                     ModelledSeconds(s, p, scale_up));
     }
     line += buf;
+    if (s.est_rows >= 0) {
+      // Estimation-accountability columns, present only when the executed
+      // plan carried stamps — unstamped profiles render byte-identically
+      // to the pre-accountability format.
+      std::snprintf(buf, sizeof(buf), "  [est=%.0f act=%.0f q-err=%.2f]",
+                    s.est_rows, s.output_rows,
+                    QError(s.est_rows, s.output_rows));
+      line += buf;
+    }
     lines.push_back(std::move(line));
   }
   return lines;

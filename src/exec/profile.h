@@ -24,6 +24,13 @@ struct OperatorStats {
   int64_t batches = 0;     // morsels processed by parallel operators
   int threads = 1;         // worker budget the operator ran under
 
+  // Planning-time estimates copied off the stamped plan node at Enter.
+  // est_rows stays -1 when the plan was never stamped, in which case the
+  // render and the accountability ledger skip this record.
+  double est_rows = -1;
+  double est_input_rows = 0;  // sum of child-node estimates
+  double est_bytes = 0;       // est_rows * stamped row width
+
   /// Output/input fraction for cardinality-reducing operators; 1 when the
   /// operator had no input rows.
   double Selectivity() const {
@@ -65,6 +72,13 @@ class OperatorProfiler {
   static double ModelledSeconds(const OperatorStats& s,
                                 const EngineProfile& profile,
                                 double scale_up = 1.0);
+
+  /// Modelled seconds the planner expected for this operator: the same
+  /// per-row weights as ModelledSeconds, but fed the stamped estimates
+  /// instead of the observed row counts. 0 when the record is unstamped.
+  static double EstimatedSeconds(const OperatorStats& s,
+                                 const EngineProfile& profile,
+                                 double scale_up = 1.0);
 
   /// Renders the profile as an indented tree, one operator per line, with
   /// rows in/out, selectivity, batches, threads, and modelled seconds —

@@ -75,6 +75,8 @@ void WriteRunTrace(JsonWriter* w, const RunTrace& trace) {
     w->Field("encoded", t.encoded);
     w->Field("materialized", t.materialized);
     w->Field("failed", t.failed);
+    w->Field("est_rows", t.est_rows);
+    w->Field("est_bytes", t.est_bytes);
     w->Key("producer_compute");
     WriteComputeTrace(w, t.producer_compute);
     w->EndObject();
@@ -172,6 +174,28 @@ std::string XdbReportToJson(const XdbReport& report) {
   w.Field("complete", report.completeness.complete);
   w.Field("completeness_fraction", report.completeness.completeness_fraction);
   w.Field("lost", static_cast<int64_t>(report.completeness.lost.size()));
+  w.EndObject();
+  w.Key("estimates");
+  w.BeginObject();
+  w.Field("max_q_error", report.trace.MaxQError());
+  w.Key("operators");
+  w.BeginArray();
+  for (const auto& ea : report.trace.estimates) {
+    w.BeginObject();
+    w.Field("op", ea.op);
+    w.Field("server", ea.server);
+    w.Field("detail", ea.detail);
+    w.Field("est_input_rows", ea.est_input_rows);
+    w.Field("est_rows", ea.est_rows);
+    w.Field("act_rows", ea.act_rows);
+    w.Field("est_seconds", ea.est_seconds);
+    w.Field("act_seconds", ea.act_seconds);
+    w.Field("est_bytes", ea.est_bytes);
+    w.Field("act_bytes", ea.act_bytes);
+    w.Field("q_error", ea.q_error);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   w.Key("trace");
   WriteRunTrace(&w, report.trace);

@@ -7,6 +7,27 @@
 
 namespace xdb {
 
+namespace {
+
+/// Digit runs -> '*', so "Filter(o_orderkey = 4711)" and "... = 12" share a
+/// predicate shape and recurring misestimates group in the drill-down.
+std::string PredicateShape(const std::string& detail) {
+  std::string out;
+  bool in_digits = false;
+  for (char c : detail) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) out += '*';
+      in_digits = true;
+    } else {
+      out += c;
+      in_digits = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void QueryLog::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
@@ -23,6 +44,16 @@ void QueryLog::set_drift_threshold(double fraction) {
 double QueryLog::drift_threshold() const {
   std::lock_guard<std::mutex> lock(mu_);
   return drift_threshold_;
+}
+
+void QueryLog::set_qerror_threshold(double q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  qerror_threshold_ = q;
+}
+
+double QueryLog::qerror_threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return qerror_threshold_;
 }
 
 void QueryLog::Record(QueryStats stats) {
@@ -58,6 +89,24 @@ void QueryLog::Record(QueryStats stats) {
       }
     }
   }
+  // Misestimate check: the worst q-error across the run's estimate ledger
+  // defines the query's accountability verdict; crossing the threshold
+  // banks the offending operator (not the whole ledger) into the ring.
+  const EstimateActual* worst = nullptr;
+  for (const auto& ea : stats.estimates) {
+    if (worst == nullptr || ea.q_error > worst->q_error) worst = &ea;
+  }
+  if (worst != nullptr) stats.max_q_error = worst->q_error;
+  if (worst != nullptr && worst->q_error >= qerror_threshold_) {
+    misestimate_events_.push_back(MisestimateEvent{
+        stats.sequence, stats.label, worst->op, worst->server,
+        PredicateShape(worst->detail), worst->est_rows, worst->act_rows,
+        worst->q_error});
+    while (misestimate_events_.size() > kMisestimateRingCapacity) {
+      misestimate_events_.pop_front();
+    }
+  }
+
   ++ls.runs;
   if (!stats.ok) ++ls.failures;
   if (stats.plan_cache_hit) ++ls.cache_hits;
@@ -87,6 +136,53 @@ std::vector<DriftEvent> QueryLog::DriftEvents() const {
   return std::vector<DriftEvent>(drift_events_.begin(), drift_events_.end());
 }
 
+std::vector<MisestimateEvent> QueryLog::MisestimateEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<MisestimateEvent>(misestimate_events_.begin(),
+                                       misestimate_events_.end());
+}
+
+std::vector<std::string> QueryLog::QErrorDrilldown(
+    const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lines;
+  char buf[256];
+  size_t matched = 0;
+  for (const auto& ev : misestimate_events_) {
+    if (!label.empty() && ev.label != label) continue;
+    ++matched;
+  }
+  if (matched == 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "no misestimates recorded%s%s%s (threshold: max q-error "
+                  ">= %.1f)",
+                  label.empty() ? "" : " for label '",
+                  label.c_str(), label.empty() ? "" : "'",
+                  qerror_threshold_);
+    lines.emplace_back(buf);
+    return lines;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "misestimates: %zu retained run(s)%s%s%s (threshold: max "
+                "q-error >= %.1f)",
+                matched, label.empty() ? "" : " for label '", label.c_str(),
+                label.empty() ? "" : "'", qerror_threshold_);
+  lines.emplace_back(buf);
+  for (const auto& ev : misestimate_events_) {
+    if (!label.empty() && ev.label != label) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  #%-4lld %-8s %-9s @%-10s q-err=%8.2f est=%.0f act=%.0f",
+                  static_cast<long long>(ev.sequence), ev.label.c_str(),
+                  ev.op.c_str(), ev.server.c_str(), ev.q_error, ev.est_rows,
+                  ev.act_rows);
+    lines.emplace_back(buf);
+    if (!ev.predicate_shape.empty()) {
+      lines.emplace_back("        shape: " + ev.predicate_shape);
+    }
+  }
+  return lines;
+}
+
 void QueryLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
@@ -98,6 +194,7 @@ void QueryLog::Clear() {
   lifetime_wasted_bytes_ = 0;
   label_stats_.clear();
   drift_events_.clear();
+  misestimate_events_.clear();
 }
 
 std::vector<std::string> QueryLog::Summary() const {
@@ -121,6 +218,13 @@ std::vector<std::string> QueryLog::Summary() const {
                   drift_events_.size(), drift_threshold_ * 100.0);
     lines.emplace_back(buf);
   }
+  if (!misestimate_events_.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "misestimates: %zu run(s) with max q-error >= %.1f "
+                  "(drill down with \\qerror [label])",
+                  misestimate_events_.size(), qerror_threshold_);
+    lines.emplace_back(buf);
+  }
   for (const auto& q : entries_) {
     // Compression token only when the columnar wire actually saved bytes —
     // raw-mode lines stay byte-identical to before the columnar wire.
@@ -137,13 +241,19 @@ std::vector<std::string> QueryLog::Summary() const {
       std::snprintf(part, sizeof(part), "  [PARTIAL %.0f%%]",
                     q.completeness_fraction * 100.0);
     }
+    // Misestimate token only past the threshold — well-estimated lines stay
+    // byte-identical to before the accountability plane.
+    char qerr[32] = "";
+    if (q.max_q_error >= qerror_threshold_) {
+      std::snprintf(qerr, sizeof(qerr), "  [q-err=%.1f]", q.max_q_error);
+    }
     std::snprintf(buf, sizeof(buf),
                   "#%-4lld %-8s %-7s %8.2fs  useful=%.0fB wasted=%.0fB "
-                  "transfers=%d retries=%d replans=%d recovery=%s%s%s%s%s",
+                  "transfers=%d retries=%d replans=%d recovery=%s%s%s%s%s%s",
                   static_cast<long long>(q.sequence), q.label.c_str(),
                   q.system.c_str(), q.total_seconds(), q.useful_bytes,
                   q.wasted_bytes, q.transfers, q.retries, q.replan_rounds,
-                  q.recovery_action.c_str(), comp, part,
+                  q.recovery_action.c_str(), comp, part, qerr,
                   q.plan_cache_hit ? "  [cached plan]" : "",
                   q.ok ? "" : "  FAILED");
     lines.emplace_back(buf);
@@ -243,6 +353,21 @@ std::string QueryLog::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("misestimate_events");
+  w.BeginArray();
+  for (const auto& ev : misestimate_events_) {
+    w.BeginObject();
+    w.Field("sequence", ev.sequence);
+    w.Field("label", ev.label);
+    w.Field("op", ev.op);
+    w.Field("server", ev.server);
+    w.Field("predicate_shape", ev.predicate_shape);
+    w.Field("est_rows", ev.est_rows);
+    w.Field("act_rows", ev.act_rows);
+    w.Field("q_error", ev.q_error);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("queries");
   w.BeginArray();
   for (const auto& q : entries_) {
@@ -273,6 +398,7 @@ std::string QueryLog::ToJson() const {
     w.Field("partial", q.partial);
     w.Field("completeness_fraction", q.completeness_fraction);
     w.Field("lost_fragments", q.lost_fragments);
+    w.Field("max_q_error", q.max_q_error);
     w.Key("per_server_seconds");
     w.BeginObject();
     for (const auto& [server, seconds] : q.per_server_seconds) {

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/dbms/run_trace.h"
+
 namespace xdb {
 
 /// \brief One compact history record per top-level query: where its modelled
@@ -60,6 +62,15 @@ struct QueryStats {
   /// empty otherwise.
   std::vector<std::pair<std::string, double>> hot_operators;
 
+  /// Estimate-vs-actual ledger of the winning round (transfers always;
+  /// operators when a profiler was attached). Retained so
+  /// XdbSystem::ExportCalibrationLog can pair features with outcomes.
+  std::vector<EstimateActual> estimates;
+
+  /// Max operator/transfer q-error of this query (filled by Record from
+  /// `estimates`; 0 = nothing stamped was observed).
+  double max_q_error = 0;
+
   double total_seconds() const {
     return prep_seconds + lopt_seconds + ann_seconds + exec_seconds;
   }
@@ -75,6 +86,22 @@ struct DriftEvent {
   double expected_seconds = 0;  // label's running mean before this query
   double actual_seconds = 0;
   double delta_fraction = 0;  // (actual - expected) / expected, signed
+};
+
+/// \brief A recorded query whose worst operator (or transfer) q-error
+/// crossed the misestimate threshold — the accountability-plane signal that
+/// the planner's cardinality model is wrong for this query shape. The
+/// offending operator and its digit-normalized predicate shape are retained
+/// so recurring shapes group together in the `\qerror` drill-down.
+struct MisestimateEvent {
+  int64_t sequence = 0;
+  std::string label;
+  std::string op;      // offending operator kind ("Join", "transfer", ...)
+  std::string server;  // executing DBMS (or src->dst link for transfers)
+  std::string predicate_shape;  // operator detail with digit runs -> '*'
+  double est_rows = 0;
+  double act_rows = 0;
+  double q_error = 1.0;
 };
 
 /// \brief Bounded ring of QueryStats — the query-history side of the
@@ -142,6 +169,22 @@ class QueryLog {
   /// Drifted runs observed so far (bounded ring of the most recent 64).
   std::vector<DriftEvent> DriftEvents() const;
 
+  // --- misestimate tracking (estimation accountability) ---
+
+  /// Max-q-error threshold at or above which a recorded query is banked as
+  /// a MisestimateEvent (default 4.0). Applies to queries recorded after
+  /// the change.
+  void set_qerror_threshold(double q);
+  double qerror_threshold() const;
+
+  /// Misestimated runs observed so far (bounded ring of the most recent 64).
+  std::vector<MisestimateEvent> MisestimateEvents() const;
+
+  /// Shell-facing `\qerror [label]` drill-down: the retained misestimate
+  /// ring (optionally filtered to one label), worst operator first per
+  /// entry, with estimate, actual, q-error, and predicate shape.
+  std::vector<std::string> QErrorDrilldown(const std::string& label) const;
+
   void Clear();
 
   /// Shell-facing summary: lifetime totals, then one line per retained
@@ -178,6 +221,7 @@ class QueryLog {
 
   static constexpr int64_t kDriftMinSamples = 3;
   static constexpr size_t kDriftRingCapacity = 64;
+  static constexpr size_t kMisestimateRingCapacity = 64;
 
   mutable std::mutex mu_;
   size_t capacity_;
@@ -189,8 +233,10 @@ class QueryLog {
   double lifetime_useful_bytes_ = 0;
   double lifetime_wasted_bytes_ = 0;
   double drift_threshold_ = 0.25;
+  double qerror_threshold_ = 4.0;
   std::map<std::string, LabelStats> label_stats_;
   std::deque<DriftEvent> drift_events_;
+  std::deque<MisestimateEvent> misestimate_events_;
 };
 
 }  // namespace xdb

@@ -161,6 +161,26 @@ double Estimator::Selectivity(const Expr& predicate,
 }
 
 PlanEstimate Estimator::Estimate(const PlanNode& node) const {
+  std::vector<PlanEstimate> inputs;
+  inputs.reserve(node.children.size());
+  for (const auto& child : node.children) inputs.push_back(Estimate(*child));
+  return EstimateWithInputs(node, inputs);
+}
+
+PlanEstimate Estimator::StampEstimates(PlanNode& node) const {
+  std::vector<PlanEstimate> inputs;
+  inputs.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    inputs.push_back(StampEstimates(*child));
+  }
+  PlanEstimate est = EstimateWithInputs(node, inputs);
+  node.est_rows = est.rows;
+  node.est_width = est.row_width;
+  return est;
+}
+
+PlanEstimate Estimator::EstimateWithInputs(
+    const PlanNode& node, const std::vector<PlanEstimate>& inputs) const {
   switch (node.kind) {
     case PlanKind::kScan: {
       PlanEstimate est;
@@ -183,7 +203,7 @@ PlanEstimate Estimator::Estimate(const PlanNode& node) const {
       return est;
     }
     case PlanKind::kFilter: {
-      PlanEstimate in = Estimate(*node.children[0]);
+      const PlanEstimate& in = inputs[0];
       double sel = std::clamp(Selectivity(*node.predicate, in), 1e-6, 1.0);
       PlanEstimate out = in;
       out.rows = std::max(1.0, in.rows * sel);
@@ -192,7 +212,7 @@ PlanEstimate Estimator::Estimate(const PlanNode& node) const {
       return out;
     }
     case PlanKind::kProject: {
-      PlanEstimate in = Estimate(*node.children[0]);
+      const PlanEstimate& in = inputs[0];
       PlanEstimate out;
       out.rows = in.rows;
       for (const auto& e : node.exprs) {
@@ -213,8 +233,8 @@ PlanEstimate Estimator::Estimate(const PlanNode& node) const {
       return out;
     }
     case PlanKind::kJoin: {
-      PlanEstimate l = Estimate(*node.children[0]);
-      PlanEstimate r = Estimate(*node.children[1]);
+      const PlanEstimate& l = inputs[0];
+      const PlanEstimate& r = inputs[1];
       double rows = l.rows * r.rows;
       for (size_t i = 0; i < node.left_keys.size(); ++i) {
         double nl = node.left_keys[i] >= 0 &&
@@ -246,7 +266,7 @@ PlanEstimate Estimator::Estimate(const PlanNode& node) const {
       return out;
     }
     case PlanKind::kAggregate: {
-      PlanEstimate in = Estimate(*node.children[0]);
+      const PlanEstimate& in = inputs[0];
       double groups = 1.0;
       for (const auto& g : node.group_keys) {
         const Expr* col = StripToColumn(*g);
@@ -268,9 +288,9 @@ PlanEstimate Estimator::Estimate(const PlanNode& node) const {
       return out;
     }
     case PlanKind::kSort:
-      return Estimate(*node.children[0]);
+      return inputs[0];
     case PlanKind::kLimit: {
-      PlanEstimate in = Estimate(*node.children[0]);
+      PlanEstimate in = inputs[0];
       if (node.limit >= 0) {
         in.rows = std::min(in.rows, static_cast<double>(node.limit));
       }

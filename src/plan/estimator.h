@@ -25,8 +25,19 @@ class Estimator {
   /// plans here are small).
   PlanEstimate Estimate(const PlanNode& node) const;
 
+  /// Stamps `est_rows`/`est_width` on every node of the subtree in a single
+  /// bottom-up pass (one estimate per node, not O(n^2) re-estimation) and
+  /// returns the root estimate. The stamps survive Clone() and the plan
+  /// cache, so a cached plan replays identical estimates.
+  PlanEstimate StampEstimates(PlanNode& node) const;
+
   /// Selectivity of a bound predicate against input column stats.
   double Selectivity(const Expr& predicate, const PlanEstimate& input) const;
+
+ private:
+  /// Estimate of one node given already-computed child estimates.
+  PlanEstimate EstimateWithInputs(
+      const PlanNode& node, const std::vector<PlanEstimate>& inputs) const;
 };
 
 }  // namespace xdb

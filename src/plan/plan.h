@@ -86,6 +86,13 @@ struct PlanNode {
   std::string annotation;            // DBMS prescribed by the annotator
   Movement edge_movement = Movement::kImplicit;  // edge to parent (annotated)
 
+  // --- estimation accountability (Estimator::StampEstimates) ---
+  // Planning-time output estimates, carried through Clone() and the plan
+  // cache so execution can report estimate-vs-actual divergence. -1 means
+  // the subtree was never stamped.
+  double est_rows = -1;
+  double est_width = 0;  // estimated serialized bytes per row
+
   // ---- factories (compute output schema/qualifiers) ----
   static PlanPtr MakeScan(std::string db, std::string table,
                           std::string alias, Schema schema, TableStats stats);

@@ -5,7 +5,9 @@
 #include <functional>
 #include <optional>
 
+#include "src/common/json_writer.h"
 #include "src/common/thread_pool.h"
+#include "src/plan/estimator.h"
 #include "src/sql/parser.h"
 #include "src/testing/fault_injector.h"
 #include "src/xdb/annotator.h"
@@ -50,6 +52,22 @@ uint64_t HashProfiles(Federation* fed) {
     HashCombine(&h, static_cast<uint64_t>(p.parallelism));
   }
   return h;
+}
+
+/// Coarse predicate class of an operator's detail string, a calibration
+/// feature: range subsumes equality ("<=" contains '='), LIKE wins over
+/// both, "none" covers scans/joins/aggregates without inline predicates.
+std::string PredicateClass(const std::string& detail) {
+  if (detail.find("LIKE") != std::string::npos ||
+      detail.find(" like ") != std::string::npos) {
+    return "like";
+  }
+  if (detail.find('<') != std::string::npos ||
+      detail.find('>') != std::string::npos) {
+    return "range";
+  }
+  if (detail.find('=') != std::string::npos) return "equality";
+  return "none";
 }
 
 }  // namespace
@@ -98,6 +116,52 @@ std::string XdbSystem::PlacementFingerprint() const {
          std::to_string(fed_->health_tracker() != nullptr
                             ? fed_->health_tracker()->state_epoch()
                             : 0);
+}
+
+std::string XdbSystem::ExportCalibrationLog() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "xdb-calibration-v1");
+  w.Key("records");
+  w.BeginArray();
+  if (QueryLog* qlog = fed_->query_log()) {
+    for (const QueryStats& q : qlog->SnapshotEntries()) {
+      for (const EstimateActual& ea : q.estimates) {
+        // Engine feature: the executing DBMS's optimizer vendor — transfer
+        // records span a link, so they calibrate the wire model instead.
+        std::string engine = "wire";
+        if (ea.op != "transfer") {
+          const DatabaseServer* server = fed_->GetServer(ea.server);
+          engine = server != nullptr ? server->profile().vendor : "unknown";
+        }
+        w.BeginObject();
+        w.Field("query_sequence", q.sequence);
+        w.Field("label", q.label);
+        w.Key("features");
+        w.BeginObject();
+        w.Field("op", ea.op);
+        w.Field("predicate_class", PredicateClass(ea.detail));
+        w.Field("est_input_rows", ea.est_input_rows);
+        w.Field("engine", engine);
+        w.Field("placement", ea.server);
+        w.EndObject();
+        w.Key("outcome");
+        w.BeginObject();
+        w.Field("est_rows", ea.est_rows);
+        w.Field("act_rows", ea.act_rows);
+        w.Field("est_seconds", ea.est_seconds);
+        w.Field("act_seconds", ea.act_seconds);
+        w.Field("est_bytes", ea.est_bytes);
+        w.Field("act_bytes", ea.act_bytes);
+        w.Field("q_error", ea.q_error);
+        w.EndObject();
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 void XdbSystem::CountPlanCache(bool hit, int evictions) {
@@ -188,6 +252,10 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   qs.replan_rounds = trace.replan_rounds;
   qs.recovery_action = trace.recovery_action;
   qs.lost_fragments = static_cast<int>(trace.lost_fragments.size());
+  // Estimate-vs-actual ledger of the executed plan. A replanned query's
+  // trace is the winning round's, so these estimates belong to the plan
+  // that actually ran, never to an abandoned alternate.
+  qs.estimates = trace.estimates;
   if (result.ok()) {
     qs.prep_seconds = result->phases.prep;
     qs.lopt_seconds = result->phases.lopt;
@@ -371,6 +439,11 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
     // --- Logical optimization (pushdowns + left-deep join ordering). ---
     Planner planner(catalog_.get(), options_.planner);
     XDB_ASSIGN_OR_RETURN(plan, planner.Plan(*stmt));
+    // Stamp planning-time estimates once on the logical plan: every clone —
+    // failover rounds and the cached master copy alike — then carries the
+    // same est_rows/est_width annotations, so a plan-cache hit replays
+    // bit-identical estimates. Write-only metadata; no modelled cost.
+    Estimator().StampEstimates(*plan);
     size_t njoins = stmt->from.size() > 0 ? stmt->from.size() - 1 : 0;
     report.phases.lopt = options_.lopt_base_cost +
                          options_.lopt_per_join_cost *

@@ -192,6 +192,14 @@ class XdbSystem {
   /// versions + engine-profile hash + placement epoch + policy knobs).
   std::string PlacementFingerprint() const;
 
+  /// JSON calibration log: one record per observed operator/transfer in the
+  /// federation QueryLog's retained history, pairing planning-time features
+  /// (operator type, input cardinality, predicate class, engine, placement)
+  /// with observed outcomes (rows, modelled seconds, bytes, q-error) —
+  /// offline training data for estimator recalibration. Empty `records`
+  /// when no QueryLog is attached.
+  std::string ExportCalibrationLog() const;
+
   /// Trace of the most recent Query() — kept even when Query returned an
   /// error, so the recovery trail (retries, rollbacks, replan rounds) of a
   /// failed query stays inspectable. Single-threaded inspection API; under

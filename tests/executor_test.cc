@@ -17,7 +17,9 @@ class FakeContext : public ExecContext {
     return it->second;
   }
   Result<TablePtr> ForeignFetch(const std::string& server,
-                                const std::string& relation) override {
+                                const std::string& relation,
+                                double /*est_rows*/,
+                                double /*est_bytes*/) override {
     fetches_.emplace_back(server, relation);
     return GetLocalTable(relation);
   }

@@ -32,6 +32,10 @@ METRICS = [
     ("modelled_seconds", lambda r: r["phases"]["total"], 1e-3),
     ("total_bytes", lambda r: r["trace"]["total_bytes"], 64.0),
     ("wasted_bytes", lambda r: r["trace"]["wasted_bytes"], 64.0),
+    # Estimator accountability: the per-query worst q-error. Growth means
+    # the cardinality model got *worse* for this query; baselines predating
+    # the estimates block are skipped (KeyError -> SKIP below).
+    ("max_q_error", lambda r: r["estimates"]["max_q_error"], 1e-6),
 ]
 
 

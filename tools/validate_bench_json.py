@@ -111,7 +111,22 @@ REPORT_KEYS = {
     "ddl_statements",
     "result_rows",
     "completeness",
+    "estimates",
     "trace",
+}
+ESTIMATES_KEYS = {"max_q_error", "operators"}
+ESTIMATE_OP_KEYS = {
+    "op",
+    "server",
+    "detail",
+    "est_input_rows",
+    "est_rows",
+    "act_rows",
+    "est_seconds",
+    "act_seconds",
+    "est_bytes",
+    "act_bytes",
+    "q_error",
 }
 COMPLETENESS_KEYS = {"complete", "completeness_fraction", "lost"}
 TRACE_KEYS = {
@@ -162,6 +177,8 @@ TRANSFER_KEYS = {
     "encoded",
     "materialized",
     "failed",
+    "est_rows",
+    "est_bytes",
     "producer_compute",
 }
 RECOVERY_ACTIONS = {
@@ -210,6 +227,10 @@ class Validator:
         b = self.require_number(obj, "bytes", path, minimum=0)
         raw = self.require_number(obj, "raw_bytes", path, minimum=0)
         self.require_number(obj, "messages", path, minimum=1)
+        # Planner estimates ride on the transfer record; -1 means the fetch
+        # was issued from an unstamped plan.
+        self.require_number(obj, "est_rows", path, minimum=-1)
+        self.require_number(obj, "est_bytes", path, minimum=-1)
         # Columnar-wire invariant: the wire charge never exceeds the
         # uncompressed row-format bytes of the same payload.
         if None not in (b, raw) and b > raw + 1e-6:
@@ -276,6 +297,47 @@ class Validator:
                 self.error(f"{path}.useful_bytes",
                            "summary counters disagree with the transfer list")
 
+    def check_estimates(self, est, transfers, path):
+        if not self.require_keys(est, ESTIMATES_KEYS, path):
+            return
+        max_q = self.require_number(est, "max_q_error", path, minimum=0)
+        if not isinstance(est["operators"], list):
+            self.error(f"{path}.operators", "expected array")
+            return
+        observed_max = 0.0
+        for i, op in enumerate(est["operators"]):
+            opath = f"{path}.operators[{i}]"
+            if not self.require_keys(op, ESTIMATE_OP_KEYS, opath):
+                continue
+            for key in ("op", "server"):
+                if not isinstance(op[key], str) or not op[key]:
+                    self.error(f"{opath}.{key}", "expected non-empty string")
+            for key in ("est_input_rows", "est_rows", "act_rows",
+                        "est_seconds", "act_seconds", "est_bytes",
+                        "act_bytes"):
+                self.require_number(op, key, opath, minimum=0)
+            q = self.require_number(op, "q_error", opath, minimum=1.0)
+            if q is not None:
+                observed_max = max(observed_max, q)
+            # A transfer's actuals are the run's own accounting: the record
+            # must restate a delivered transfer's rows and wire bytes.
+            if op.get("op") == "transfer":
+                matched = any(
+                    isinstance(t, dict) and not t.get("failed")
+                    and t.get("relation") == op.get("detail")
+                    and abs(t.get("rows", -1) - op.get("act_rows", -2)) <= 1e-6
+                    and abs(t.get("bytes", -1) - op.get("act_bytes", -2))
+                    <= 1e-6
+                    for t in transfers)
+                if not matched:
+                    self.error(
+                        f"{opath}.act_rows",
+                        "transfer estimate record matches no delivered "
+                        "transfer (relation/rows/bytes)")
+        if max_q is not None and abs(max_q - observed_max) > 1e-6:
+            self.error(f"{path}.max_q_error",
+                       f"says {max_q}, operators' max is {observed_max}")
+
     def check_report(self, report, path):
         if not self.require_keys(report, REPORT_KEYS, path):
             return
@@ -316,7 +378,12 @@ class Validator:
                     and comp["complete"] != (lost == 0)):
                 self.error(f"{cpath}.complete",
                            f"complete={comp['complete']} but lost={lost}")
-        self.check_trace(report["trace"], f"{path}.trace")
+        trace = report["trace"]
+        transfers = trace.get("transfers", []) if isinstance(trace,
+                                                             dict) else []
+        self.check_estimates(report["estimates"], transfers,
+                             f"{path}.estimates")
+        self.check_trace(trace, f"{path}.trace")
 
     def check_file(self, doc):
         if not self.require_keys(doc, {"bench", "scale_up", "runs"}, "$"):

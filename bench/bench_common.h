@@ -98,6 +98,22 @@ class JsonReport {
     entries_.push_back(std::move(entry));
   }
 
+  /// Attaches an extra top-level block to the JSON artifact: `"key": value`
+  /// where `value` is already-rendered JSON. Benches use this for
+  /// deterministic side-channel data that is not a per-query run (e.g. the
+  /// micro_obs "introspection" block). Re-setting a key replaces it; keys
+  /// are emitted in insertion order after "runs".
+  void SetExtraBlock(const std::string& key, std::string json_value) {
+    if (!enabled()) return;
+    for (auto& [k, v] : extra_blocks_) {
+      if (k == key) {
+        v = std::move(json_value);
+        return;
+      }
+    }
+    extra_blocks_.emplace_back(key, std::move(json_value));
+  }
+
   /// Writes everything the flags asked for; call last thing in main.
   void Flush() {
     if (enabled()) {
@@ -108,7 +124,11 @@ class JsonReport {
         if (i > 0) out += ',';
         out += entries_[i];
       }
-      out += "]}";
+      out += "]";
+      for (const auto& [key, value] : extra_blocks_) {
+        out += ",\"" + JsonWriter::Escape(key) + "\":" + value;
+      }
+      out += "}";
       WriteFile(json_path_, out);
     }
     if (!trace_path_.empty()) {
@@ -142,6 +162,7 @@ class JsonReport {
   std::string metrics_path_;
   std::string querylog_path_;
   std::vector<std::string> entries_;
+  std::vector<std::pair<std::string, std::string>> extra_blocks_;
   SpanRecorder spans_;
   QueryLog query_log_;
 };

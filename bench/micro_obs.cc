@@ -16,12 +16,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/dbms/server.h"
 #include "src/exec/profile.h"
+#include "src/obs/introspect.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -251,6 +253,97 @@ void RunHookParityScenarios() {
   }
 }
 
+// --------------------------------------------------------------------------
+// Introspection pass: provider snapshot overhead (wall-clock, printed) and
+// a deterministic SELECT over xdb_stat.queries whose rendering must be
+// stable across consecutive probes. With --json the probe run and a
+// deterministic "introspection" block (per-table row/column counts, probe
+// shape) ride into the artifact for schema validation and baselining.
+// --------------------------------------------------------------------------
+
+void RunIntrospectionScenarios() {
+  PrintHeader("System introspection (xdb_stat.*, TD1, SF 0.002)");
+  JsonReport& json = JsonReport::Instance();
+  auto fed = tpch::BuildTpchFederation(kMicroSf, tpch::TD1());
+  QueryLog log(64);
+  fed->SetQueryLog(&log);
+  XdbSystem xdb(fed.get());
+  IntrospectionRegistry* reg = xdb.EnableIntrospection();
+
+  // Workload history for the probe below: Q3 twice under a stable label.
+  const auto& sql = tpch::FindQuery("Q3")->sql;
+  QueryContext ctx;
+  ctx.label = "Q3";
+  for (int i = 0; i < 2; ++i) {
+    auto r = xdb.Query(sql, ctx);
+    if (!r.ok()) {
+      std::printf("workload query FAILED: %s\n",
+                  r.status().ToString().c_str());
+      return;
+    }
+  }
+
+  // Per-provider snapshot cost (wall-clock; stdout only — never JSON) and
+  // the deterministic shape of each table after the workload.
+  std::string tables_json = "[";
+  bool first = true;
+  for (const std::string& name : reg->TableNames()) {
+    const SystemTableProvider* provider = reg->Find(name);
+    constexpr int kReps = 100;
+    auto start = std::chrono::steady_clock::now();
+    TablePtr snap;
+    for (int i = 0; i < kReps; ++i) snap = provider->Snapshot();
+    std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::printf("xdb_stat.%-10s  %4zu row(s) x %zu col(s)  %8.2f us/snapshot\n",
+                name.c_str(), snap->num_rows(), snap->schema().num_fields(),
+                elapsed.count() / kReps);
+    if (!first) tables_json += ',';
+    first = false;
+    tables_json += "{\"name\":\"" + JsonWriter::Escape(name) +
+                   "\",\"rows\":" + std::to_string(snap->num_rows()) +
+                   ",\"columns\":" +
+                   std::to_string(snap->schema().num_fields()) + "}";
+  }
+  tables_json += "]";
+
+  // Deterministic probe: aggregates the workload label only and runs under
+  // a different label, so its own (recorded) history rows never match the
+  // filter — consecutive probes must render byte-identically.
+  const std::string probe =
+      "SELECT q.label, q.status, COUNT(*) AS runs, "
+      "SUM(q.useful_bytes) AS bytes FROM xdb_stat.queries q "
+      "WHERE q.label = 'Q3' GROUP BY q.label, q.status "
+      "ORDER BY q.label, q.status";
+  QueryContext probe_ctx;
+  probe_ctx.label = "introspect-probe";
+  auto p1 = xdb.Query(probe, probe_ctx);
+  auto p2 = xdb.Query(probe, probe_ctx);
+  if (!p1.ok() || !p2.ok()) {
+    std::printf("probe FAILED: %s\n",
+                (p1.ok() ? p2 : p1).status().ToString().c_str());
+    return;
+  }
+  const bool stable = p1->result->ToDisplayString(100) ==
+                      p2->result->ToDisplayString(100);
+  const bool pinned = p2->metadata_roundtrips == 0 &&
+                      p2->trace.transfers.empty() && !p2->plan_cache_hit;
+  std::printf("probe: %zu row(s), %s, %s — %.6fs modelled\n",
+              p2->result->num_rows(),
+              stable ? "STABLE across reruns" : "UNSTABLE",
+              pinned ? "mediator-local (0 roundtrips, 0 transfers)"
+                     : "NOT PINNED",
+              p2->phases.total());
+  json.Record("XDB/introspect-probe", probe, *p2);
+  json.SetExtraBlock(
+      "introspection",
+      "{\"tables\":" + tables_json + ",\"probe_sql\":\"" +
+          JsonWriter::Escape(probe) +
+          "\",\"probe_rows\":" + std::to_string(p2->result->num_rows()) +
+          ",\"probe_stable\":" + (stable ? "true" : "false") +
+          ",\"probe_pinned\":" + (pinned ? "true" : "false") + "}");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace xdb
@@ -258,9 +351,10 @@ void RunHookParityScenarios() {
 int main(int argc, char** argv) {
   xdb::bench::JsonReport::Instance().Init(argc, argv, "micro_obs");
   if (xdb::bench::JsonReport::Instance().enabled()) {
-    // CI watchdog mode: only the deterministic parity pass, whose JSON is
-    // comparable against a committed baseline.
+    // CI watchdog mode: only the deterministic parity + introspection
+    // passes, whose JSON is comparable against a committed baseline.
     xdb::bench::RunHookParityScenarios();
+    xdb::bench::RunIntrospectionScenarios();
     xdb::bench::JsonReport::Instance().Flush();
     return 0;
   }
@@ -268,6 +362,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   xdb::bench::RunHookParityScenarios();
+  xdb::bench::RunIntrospectionScenarios();
   xdb::bench::JsonReport::Instance().Flush();
   return 0;
 }

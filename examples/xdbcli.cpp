@@ -26,6 +26,14 @@
 //                   completeness instead of failing
 //   \health         per-server circuit-breaker health (state, error rate,
 //                   trips); tripped servers are planned around
+//   \stat <table>   shortcut for SELECT * FROM xdb_stat.<table> — the
+//                   SQL-queryable system tables (metrics, queries,
+//                   operators, transfers, plan_cache, sessions, servers);
+//                   any SELECT may also reference them directly and join,
+//                   filter, or aggregate over them
+//   \top [n]        worst queries by modelled seconds (default 5), straight
+//                   from xdb_stat.queries
+//   \help           list every backslash command
 //   \quit
 //
 // Run with a SQL script on stdin or interactively:
@@ -63,6 +71,31 @@ void PrintTables(XdbSystem* xdb, Federation* fed) {
   (void)xdb;
 }
 
+void PrintHelp() {
+  static const char* kCommands[] = {
+      "\\tables             list the global schema and table placements",
+      "\\plan <sql>         show the delegation plan without executing",
+      "\\ddl <sql>          run the query and show the DDL cascade",
+      "\\explain <sql>      single-DBMS EXPLAIN passthrough",
+      "\\analyze <sql>      federation-level EXPLAIN ANALYZE",
+      "\\trace [file]       dump the last query's spans as Chrome trace",
+      "\\stats              query history summary",
+      "\\stats <label>      per-label drill-down (aggregates, drift)",
+      "\\qerror [label]     misestimate drill-down (worst q-errors)",
+      "\\calibrate [file]   dump the estimator calibration log (JSON)",
+      "\\metrics            Prometheus exposition of every counter",
+      "\\stat <table>       SELECT * FROM xdb_stat.<table>",
+      "\\top [n]            worst queries by modelled seconds (default 5)",
+      "\\wire [raw|columnar] show or set the transfer wire format",
+      "\\deadline [ms]      show or set the per-query modelled deadline",
+      "\\partial [on|off]   opt in/out of partial results",
+      "\\health             per-server circuit-breaker health",
+      "\\help               this list",
+      "\\quit               exit",
+  };
+  for (const char* c : kCommands) std::printf("  %s\n", c);
+}
+
 }  // namespace
 
 int main() {
@@ -83,11 +116,13 @@ int main() {
   fed->SetQueryLog(&history);
   fed->SetMetricsRegistry(&metrics);
   fed->SetHealthTracker(&health);
+  // SQL-queryable introspection: xdb_stat.* system tables (\stat, \top, or
+  // any SELECT referencing them).
+  xdb.EnableIntrospection();
 
-  std::printf("xdbcli ready — 4 DBMSes federated. \\tables, \\plan <sql>, "
-              "\\ddl <sql>, \\analyze <sql>, \\trace <file>, \\stats, "
-              "\\qerror, \\calibrate, \\metrics, \\wire, \\deadline, "
-              "\\partial, \\health, \\quit\n");
+  std::printf("xdbcli ready — 4 DBMSes federated. SQL per line; \\help "
+              "lists the backslash commands; xdb_stat.* system tables are "
+              "queryable (\\stat <table>, \\top [n])\n");
 
   // Shell-level degradation knobs, applied to every query until changed.
   double deadline_seconds = 0;
@@ -101,8 +136,51 @@ int main() {
     line = Trim(line);
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\help" || line == "\\h") {
+      PrintHelp();
+      continue;
+    }
     if (line == "\\tables") {
       PrintTables(&xdb, fed.get());
+      continue;
+    }
+    if (line == "\\stat" || StartsWith(line, "\\stat ")) {
+      std::string table = line.size() > 5 ? Trim(line.substr(6)) : "";
+      if (table.empty()) {
+        std::printf("usage: \\stat <table>  (e.g. \\stat queries)\n");
+        continue;
+      }
+      auto report = xdb.Query("SELECT * FROM xdb_stat." + table);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", report->result->ToDisplayString(100).c_str());
+      std::printf("(%zu rows)\n", report->result->num_rows());
+      continue;
+    }
+    if (line == "\\top" || StartsWith(line, "\\top ")) {
+      std::string arg = line.size() > 4 ? Trim(line.substr(5)) : "";
+      int n = 5;
+      if (!arg.empty()) {
+        char* end = nullptr;
+        const long parsed = std::strtol(arg.c_str(), &end, 10);
+        if (end == arg.c_str() || parsed <= 0) {
+          std::printf("usage: \\top [n]\n");
+          continue;
+        }
+        n = static_cast<int>(parsed);
+      }
+      auto report = xdb.Query(
+          "SELECT sequence, label, status, modelled_seconds, useful_bytes, "
+          "max_q_error FROM xdb_stat.queries "
+          "ORDER BY modelled_seconds DESC, sequence ASC LIMIT " +
+          std::to_string(n));
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", report->result->ToDisplayString(100).c_str());
       continue;
     }
     if (line == "\\stats") {

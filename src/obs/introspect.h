@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/table.h"
+
+namespace xdb {
+
+class Federation;
+class SessionManager;
+class XdbSystem;
+
+/// Database qualifier reserved for the virtual system tables
+/// (`SELECT ... FROM xdb_stat.queries ...`). No component DBMS may use it.
+inline constexpr char kXdbStatDb[] = "xdb_stat";
+
+/// Version string exposed through the `xdb_build_info` metric (one minor
+/// bump per PR in the stacked sequence).
+inline constexpr char kXdbVersion[] = "0.10";
+
+/// \brief One virtual system table: a name under the `xdb_stat` database, a
+/// fixed schema, and a Snapshot() that materializes the current state as an
+/// ordinary Table (the pg_stat_* / information_schema pattern).
+///
+/// Contract:
+///  - Snapshot() is thread-safe and purely observational — it must read its
+///    source through that source's own thread-safe snapshot API, never hold
+///    references into live structures, and never mutate modelled state.
+///  - Rows are deterministically ordered by a stable per-table sort key
+///    (documented per provider), so repeated snapshots of the same state
+///    render byte-identically.
+///  - The returned table is private to the query that asked: the executor
+///    may consume it destructively.
+class SystemTableProvider {
+ public:
+  virtual ~SystemTableProvider() = default;
+
+  /// Bare table name under `xdb_stat` ("queries", "servers", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The table's fixed schema (stable across snapshots).
+  virtual const Schema& schema() const = 0;
+
+  /// Materializes the current state. Never nullptr — an empty source yields
+  /// an empty table with the fixed schema.
+  virtual TablePtr Snapshot() const = 0;
+};
+
+/// \brief The set of registered system tables, owned by the XdbSystem that
+/// enabled introspection.
+///
+/// Registration is setup-time only (EnableIntrospection); queries only call
+/// the const lookups, so no locking is needed on the read path.
+class IntrospectionRegistry {
+ public:
+  /// Registers a provider under its name(). Replaces an existing provider
+  /// with the same name.
+  void Register(std::unique_ptr<SystemTableProvider> provider);
+
+  /// Case-insensitive lookup by bare table name; nullptr when unknown.
+  SystemTableProvider* Find(const std::string& table) const;
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return providers_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<SystemTableProvider>> providers_;
+};
+
+/// \brief Registers the standard `xdb_stat.*` providers:
+///
+///   metrics     one row per metric cell (histograms expand like the text
+///               exposition), in ExposeText() order
+///   queries     the QueryLog's retained history, by sequence
+///   operators   per-operator estimate-vs-actual ledger, by (sequence, index)
+///   transfers   per-link transfer aggregates over the retained history,
+///               by link
+///   plan_cache  resident delegation-plan cache entries, by key
+///   sessions    open serving sessions, by id (empty unless `sessions`)
+///   servers     component DBMSes with breaker state + engine profile,
+///               by server name
+///
+/// `sessions` may be nullptr (no serving layer — the table is then always
+/// empty). `fed` and `xdb` must outlive the registry.
+void RegisterStandardProviders(IntrospectionRegistry* registry,
+                               Federation* fed, XdbSystem* xdb,
+                               SessionManager* sessions);
+
+}  // namespace xdb

@@ -230,6 +230,39 @@ std::string MetricsRegistry::ExposeText() const {
   return out;
 }
 
+std::vector<MetricSample> MetricsRegistry::CollectSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, f] : entries_) {
+    for (const auto& [labels, c] : f.counters) {
+      out.push_back({name, RenderLabels(labels), "counter", c->Value()});
+    }
+    for (const auto& [labels, g] : f.gauges) {
+      out.push_back({name, RenderLabels(labels), "gauge", g->Value()});
+    }
+    for (const auto& [labels, cell] : f.histograms) {
+      const Histogram& h = *cell;
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        out.push_back({name,
+                       RenderLabels(labels,
+                                    "le=\"" +
+                                        FormatNumber(h.upper_bounds()[i]) +
+                                        "\""),
+                       "bucket", static_cast<double>(cumulative)});
+      }
+      cumulative += h.BucketCount(h.upper_bounds().size());
+      out.push_back({name, RenderLabels(labels, "le=\"+Inf\""), "bucket",
+                     static_cast<double>(cumulative)});
+      out.push_back({name, RenderLabels(labels), "sum", h.Sum()});
+      out.push_back({name, RenderLabels(labels), "count",
+                     static_cast<double>(h.Count())});
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, f] : entries_) {

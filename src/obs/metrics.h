@@ -74,6 +74,18 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// \brief One rendered sample of the registry — the structured counterpart
+/// of one ExposeText() line, consumed by the `xdb_stat.metrics` system
+/// table. Histogram cells expand exactly like the exposition: one `bucket`
+/// sample per bound (cumulative, `le=` rendered last in `labels`), then
+/// `sum` and `count`.
+struct MetricSample {
+  std::string family;  // family name (no _bucket/_sum/_count suffix)
+  std::string labels;  // canonical `{k="v",...}` rendering; "" if unlabeled
+  std::string kind;    // "counter" | "gauge" | "bucket" | "sum" | "count"
+  double value = 0;
+};
+
 /// \brief One dimension of a metric: `{server="db1"}`, `{link="db1->db3"}`.
 ///
 /// Label sets are canonicalized (sorted by key, duplicate keys last-wins)
@@ -123,6 +135,12 @@ class MetricsRegistry {
   std::string ExposeText() const;
   /// Older name for ExposeText(), kept for callers predating labels.
   std::string TextExposition() const { return ExposeText(); }
+
+  /// Structured snapshot of every cell, in exactly ExposeText() order
+  /// (name-sorted families; counters, then gauges, then histograms within a
+  /// family; label-sorted cells; cumulative buckets before sum/count) — so
+  /// the `xdb_stat.metrics` rows and the exposition always agree.
+  std::vector<MetricSample> CollectSamples() const;
 
   /// Zeroes every registered cell (families and cells stay registered).
   void ResetAll();

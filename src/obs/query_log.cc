@@ -280,6 +280,10 @@ std::vector<std::string> QueryLog::LabelDrilldown(
     lines.emplace_back(label.empty() ? "known labels:"
                                      : "unknown label '" + label +
                                            "'; known labels:");
+    if (label_stats_.empty()) {
+      lines.emplace_back("  (no queries recorded yet)");
+      return lines;
+    }
     for (const auto& [name, ls] : label_stats_) {
       std::snprintf(buf, sizeof(buf), "  %-8s %lld run(s)%s", name.c_str(),
                     static_cast<long long>(ls.runs),

@@ -67,6 +67,12 @@ struct QueryStats {
   /// XdbSystem::ExportCalibrationLog can pair features with outcomes.
   std::vector<EstimateActual> estimates;
 
+  /// The winning round's transfer records, retained verbatim so the
+  /// `xdb_stat.transfers` system table can aggregate per-link raw/encoded
+  /// bytes and est-vs-act over the history ring. Bounded by the ring
+  /// capacity; not part of the ToJson artifact.
+  std::vector<TransferRecord> transfer_log;
+
   /// Max operator/transfer q-error of this query (filled by Record from
   /// `estimates`; 0 = nothing stamped was observed).
   double max_q_error = 0;

@@ -57,6 +57,7 @@ PlanPtr DelegationPlanCache::Lookup(const std::string& norm_sql,
     }
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     master = it->second->plan;
+    ++it->second->hits;
     ++hits_;
   }
   // Clone outside the lock: the master is immutable and the shared_ptr
@@ -74,7 +75,8 @@ int DelegationPlanCache::Insert(const std::string& norm_sql,
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{norm_sql, fingerprint, std::move(plan)});
+  lru_.push_front(
+      Entry{norm_sql, fingerprint, std::move(plan), 0, insert_counter_++});
   index_[norm_sql] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
@@ -110,6 +112,18 @@ int64_t DelegationPlanCache::evictions() const {
 size_t DelegationPlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::vector<DelegationPlanCache::EntrySnapshot>
+DelegationPlanCache::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntrySnapshot> out;
+  out.reserve(lru_.size());
+  for (const auto& [key, it] : index_) {
+    out.push_back(EntrySnapshot{key, it->fingerprint, it->hits,
+                                insert_counter_ - 1 - it->inserted_at});
+  }
+  return out;  // index_ is key-ordered already
 }
 
 }  // namespace xdb

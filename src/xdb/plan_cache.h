@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/plan/plan.h"
 
@@ -54,11 +55,27 @@ class DelegationPlanCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// \brief One resident entry as seen by `xdb_stat.plan_cache`: the
+  /// normalized key, its placement fingerprint, how many lookups it served,
+  /// and its age in insertions (0 = most recently inserted entry).
+  struct EntrySnapshot {
+    std::string key;
+    std::string fingerprint;
+    int64_t hits = 0;
+    int64_t age = 0;
+  };
+
+  /// Consistent copy of the resident entries, sorted by key (deterministic
+  /// regardless of LRU order).
+  std::vector<EntrySnapshot> SnapshotEntries() const;
+
  private:
   struct Entry {
     std::string key;
     std::string fingerprint;
     PlanPtr plan;
+    int64_t hits = 0;         // lookups served by this residency
+    int64_t inserted_at = 0;  // insert-sequence stamp (for age)
   };
 
   mutable std::mutex mu_;
@@ -69,6 +86,7 @@ class DelegationPlanCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t insert_counter_ = 0;
 };
 
 }  // namespace xdb

@@ -5,14 +5,18 @@
 namespace xdb {
 
 XdbSession::XdbSession(SessionManager* mgr, int id, size_t span_capacity)
-    : mgr_(mgr), id_(id), ddl_prefix_("xdb_s" + std::to_string(id)) {
+    : mgr_(mgr),
+      id_(id),
+      ddl_prefix_("xdb_s" + std::to_string(id)),
+      counters_(std::make_shared<Counters>()) {
+  counters_->ddl_prefix = ddl_prefix_;
   if (span_capacity > 0) {
     spans_ = std::make_unique<SpanRecorder>();
     spans_->set_capacity(span_capacity);
   }
 }
 
-XdbSession::~XdbSession() { mgr_->CloseSession(); }
+XdbSession::~XdbSession() { mgr_->CloseSession(id_); }
 
 Result<XdbReport> XdbSession::Query(const std::string& sql,
                                     const std::string& label) {
@@ -31,13 +35,38 @@ std::unique_ptr<XdbSession> SessionManager::OpenSession() {
   }
   SetGauge("xdb_active_sessions", active, "Sessions currently open");
   // unique_ptr via `new`: the constructor is private to this friend.
-  return std::unique_ptr<XdbSession>(
+  auto session = std::unique_ptr<XdbSession>(
       new XdbSession(this, id, options_.session_span_capacity));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_[id] = session->counters_;
+  }
+  return session;
 }
 
-void SessionManager::CloseSession() {
+void SessionManager::CloseSession(int id) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(id);
+  }
   int active = active_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1;
   SetGauge("xdb_active_sessions", active, "Sessions currently open");
+}
+
+std::vector<SessionSnapshot> SessionManager::SnapshotSessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, c] : sessions_) {
+    SessionSnapshot s;
+    s.id = id;
+    s.ddl_prefix = c->ddl_prefix;
+    s.inflight = c->inflight.load(std::memory_order_relaxed);
+    s.queries_served = c->served.load(std::memory_order_relaxed);
+    s.failures = c->failures.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;  // map iteration is id-ordered already
 }
 
 void SessionManager::SetGauge(const std::string& name, double value,
@@ -62,6 +91,7 @@ Result<XdbReport> SessionManager::Run(XdbSession* session,
   }
   SetGauge("xdb_inflight_queries", inflight_now,
            "Queries currently executing");
+  session->counters_->inflight.fetch_add(1, std::memory_order_relaxed);
 
   QueryContext ctx;
   ctx.ddl_prefix = session->ddl_prefix_;
@@ -72,6 +102,11 @@ Result<XdbReport> SessionManager::Run(XdbSession* session,
   Result<XdbReport> result = xdb_->Query(sql, ctx);
 
   total_queries_.fetch_add(1, std::memory_order_relaxed);
+  session->counters_->inflight.fetch_sub(1, std::memory_order_relaxed);
+  session->counters_->served.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    session->counters_->failures.fetch_add(1, std::memory_order_relaxed);
+  }
   if (result.ok()) {
     session->latencies_.push_back(result->total_seconds());
     if (result->plan_cache_hit) ++session->plan_cache_hits_;

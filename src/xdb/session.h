@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,18 @@ struct ServingOptions {
   /// fragments for undeliverable non-root subtrees instead of failing
   /// (QueryContext::allow_partial). Default off — bit-identical serving.
   bool allow_partial = false;
+};
+
+/// \brief Point-in-time view of one *open* session, as surfaced by the
+/// `xdb_stat.sessions` system table. Counters come from the manager's
+/// atomic per-session registry, so snapshotting is safe while other
+/// sessions run queries (the session object itself stays single-threaded).
+struct SessionSnapshot {
+  int id = 0;
+  std::string ddl_prefix;       // the session's DDL namespace
+  int inflight = 0;             // queries executing right now (0 or 1)
+  int64_t queries_served = 0;   // completed queries, successes + failures
+  int64_t failures = 0;
 };
 
 /// \brief One client's connection to the federation: a DDL namespace, a
@@ -82,13 +95,28 @@ class XdbSession {
   friend class SessionManager;
   XdbSession(SessionManager* mgr, int id, size_t span_capacity);
 
+  struct Counters;  // atomic per-session cells shared with the manager
+
   SessionManager* mgr_;
   int id_;
   std::string ddl_prefix_;
   std::unique_ptr<SpanRecorder> spans_;
+  std::shared_ptr<Counters> counters_;
   std::vector<double> latencies_;
   int64_t plan_cache_hits_ = 0;
   int64_t failures_ = 0;
+};
+
+/// \brief Atomic per-session counters, shared between the session (writer,
+/// from Run's calling thread) and the manager's registry (readers:
+/// SnapshotSessions under concurrent serving). Separate from XdbSession's
+/// plain members so introspection never races the single-threaded session
+/// object.
+struct XdbSession::Counters {
+  std::string ddl_prefix;
+  std::atomic<int> inflight{0};
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> failures{0};
 };
 
 /// \brief The multi-tenant serving layer over one XdbSystem (ISSUE 6
@@ -116,6 +144,11 @@ class SessionManager {
     return active_sessions_.load(std::memory_order_relaxed);
   }
 
+  /// Point-in-time view of every open session, sorted by id. Safe to call
+  /// while other threads serve queries: the registry map is mutex-guarded
+  /// and the per-session counters are atomic.
+  std::vector<SessionSnapshot> SnapshotSessions() const;
+
  private:
   friend class XdbSession;
 
@@ -123,7 +156,7 @@ class SessionManager {
   /// context -> bookkeeping.
   Result<XdbReport> Run(XdbSession* session, const std::string& sql,
                         const std::string& label);
-  void CloseSession();
+  void CloseSession(int id);
 
   void SetGauge(const std::string& name, double value,
                 const std::string& help);
@@ -138,6 +171,12 @@ class SessionManager {
   std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   int inflight_ = 0;
+
+  // Session registry (id -> shared counters) for SnapshotSessions. The map
+  // is guarded; the counters themselves are atomic, so query threads never
+  // take this mutex.
+  mutable std::mutex sessions_mu_;
+  std::map<int, std::shared_ptr<XdbSession::Counters>> sessions_;
 };
 
 }  // namespace xdb

@@ -1,13 +1,19 @@
 #include "src/xdb/xdb.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <functional>
 #include <optional>
+#include <thread>
 
 #include "src/common/json_writer.h"
 #include "src/common/thread_pool.h"
+#include "src/exec/executor.h"
+#include "src/obs/introspect.h"
 #include "src/plan/estimator.h"
+#include "src/plan/planner.h"
+#include "src/plan/stats.h"
 #include "src/sql/parser.h"
 #include "src/testing/fault_injector.h"
 #include "src/xdb/annotator.h"
@@ -54,6 +60,91 @@ uint64_t HashProfiles(Federation* fed) {
   return h;
 }
 
+std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Case-insensitive substring probe for the `xdb_stat.` qualifier — the
+/// cheap pre-filter that keeps non-introspection queries at one scan of the
+/// raw SQL text (false positives are sorted out by parsing the FROM list).
+bool MentionsXdbStat(const std::string& sql) {
+  static constexpr char kNeedle[] = "xdb_stat.";
+  constexpr size_t n = sizeof(kNeedle) - 1;
+  if (sql.size() < n) return false;
+  for (size_t i = 0; i + n <= sql.size(); ++i) {
+    size_t j = 0;
+    while (j < n && std::tolower(static_cast<unsigned char>(sql[i + j])) ==
+                        kNeedle[j]) {
+      ++j;
+    }
+    if (j == n) return true;
+  }
+  return false;
+}
+
+/// Mediator-local execution services for an introspection query: relations
+/// resolve against the per-query snapshot map, and foreign fetches are
+/// structurally impossible (every `xdb_stat` scan is pinned local).
+class IntrospectionExecContext : public ExecContext {
+ public:
+  IntrospectionExecContext(const std::map<std::string, TablePtr>* snapshots,
+                           int threads)
+      : snapshots_(snapshots), threads_(threads) {}
+
+  Result<TablePtr> GetLocalTable(const std::string& name) override {
+    auto it = snapshots_->find(AsciiLower(name));
+    if (it == snapshots_->end()) {
+      return Status::CatalogError("unknown system table '" + name + "'");
+    }
+    return it->second;
+  }
+
+  Result<TablePtr> ForeignFetch(const std::string& server,
+                                const std::string& relation, double,
+                                double) override {
+    return Status::Internal("introspection queries are mediator-local: "
+                            "unexpected foreign fetch of '" + relation +
+                            "' from '" + server + "'");
+  }
+
+  ComputeTrace* trace() override { return &trace_; }
+  int exec_threads() const override { return threads_; }
+
+ private:
+  const std::map<std::string, TablePtr>* snapshots_;
+  int threads_;
+  ComputeTrace trace_;
+};
+
+/// Resolves FROM refs of an introspection query to scans over the
+/// query-start snapshots (never the GlobalCatalog — zero roundtrips).
+class IntrospectionResolver : public RelationResolver {
+ public:
+  explicit IntrospectionResolver(
+      const std::map<std::string, TablePtr>* snapshots)
+      : snapshots_(snapshots) {}
+
+  Result<PlanPtr> Resolve(const std::string& db,
+                          const std::string& table) override {
+    std::string key = AsciiLower(table);
+    auto it = snapshots_->find(key);
+    if (it == snapshots_->end()) {
+      return Status::CatalogError("unknown system table '" + db + "." +
+                                  table + "'");
+    }
+    const TablePtr& snap = it->second;
+    return PlanNode::MakeScan(kXdbStatDb, key, key, snap->schema(),
+                              ComputeTableStats(*snap));
+  }
+
+ private:
+  const std::map<std::string, TablePtr>* snapshots_;
+};
+
 /// Coarse predicate class of an operator's detail string, a calibration
 /// feature: range subsumes equality ("<=" contains '='), LIKE wins over
 /// both, "none" covers scans/joins/aggregates without inline predicates.
@@ -94,6 +185,23 @@ XdbSystem::XdbSystem(Federation* fed, XdbOptions options)
     plan_cache_ =
         std::make_unique<DelegationPlanCache>(options_.plan_cache_capacity);
   }
+}
+
+// Out-of-line: ~unique_ptr<IntrospectionRegistry> needs the complete type.
+XdbSystem::~XdbSystem() = default;
+
+IntrospectionRegistry* XdbSystem::EnableIntrospection(
+    SessionManager* sessions) {
+  // (Re-)registering is idempotent: providers are stateless views, so a
+  // later call that finally has a SessionManager just swaps the standard
+  // set in again with the sessions provider wired.
+  if (introspect_ == nullptr || sessions != nullptr) {
+    if (introspect_ == nullptr) {
+      introspect_ = std::make_unique<IntrospectionRegistry>();
+    }
+    RegisterStandardProviders(introspect_.get(), fed_, this, sessions);
+  }
+  return introspect_.get();
 }
 
 std::string XdbSystem::PlacementFingerprint() const {
@@ -256,6 +364,8 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   // trace is the winning round's, so these estimates belong to the plan
   // that actually ran, never to an abandoned alternate.
   qs.estimates = trace.estimates;
+  // Winning round's transfer records, verbatim, for `xdb_stat.transfers`.
+  qs.transfer_log = trace.transfers;
   if (result.ok()) {
     qs.prep_seconds = result->phases.prep;
     qs.lopt_seconds = result->phases.lopt;
@@ -320,6 +430,111 @@ void XdbSystem::RecordQueryStats(const std::string& sql,
   if (qlog != nullptr) qlog->Record(std::move(qs));
 }
 
+Result<XdbReport> XdbSystem::RunIntrospectionQuery(const std::string& sql,
+                                                   const QueryContext& ctx,
+                                                   bool* handled) {
+  *handled = false;
+  Result<sql::SelectPtr> parsed = sql::ParseSelect(sql);
+  // Parse failures fall through: the federation pipeline owns the (same)
+  // error, keeping diagnostics identical for SQL that merely mentions the
+  // qualifier in a literal.
+  if (!parsed.ok()) return parsed.status();
+  sql::SelectPtr stmt = std::move(parsed).value();
+
+  // Classify every FROM ref (recursing into derived tables): an
+  // introspection query references xdb_stat relations exclusively — the
+  // system tables live outside the federation and have no placement, so
+  // mixing them with component-DBMS relations is a hard error, not a
+  // silent cross plan.
+  std::vector<std::string> stat_tables;
+  std::vector<std::string> fed_tables;
+  std::function<void(const sql::SelectStmt&)> classify =
+      [&](const sql::SelectStmt& sel) {
+        for (const auto& ref : sel.from) {
+          if (ref.subquery) {
+            classify(*ref.subquery);
+            continue;
+          }
+          if (AsciiLower(ref.db) == kXdbStatDb) {
+            stat_tables.push_back(AsciiLower(ref.table));
+          } else {
+            fed_tables.push_back(ref.table);
+          }
+        }
+      };
+  classify(*stmt);
+  if (stat_tables.empty()) {
+    // `xdb_stat.` only appeared in a literal; the caller discards this.
+    return Status::InvalidArgument("not an introspection query");
+  }
+  *handled = true;
+  if (!fed_tables.empty()) {
+    return Status::InvalidArgument(
+        "cannot mix xdb_stat system tables with federation relations "
+        "(found '" + fed_tables.front() +
+        "'); query system tables separately");
+  }
+
+  // Atomically-consistent view: snapshot each referenced provider exactly
+  // once, at query start, before planning. A self-join over one system
+  // table therefore joins one snapshot with itself.
+  std::map<std::string, TablePtr> snapshots;
+  for (const auto& table : stat_tables) {
+    if (snapshots.count(table) > 0) continue;
+    SystemTableProvider* provider = introspect_->Find(table);
+    if (provider == nullptr) {
+      std::string known;
+      for (const auto& name : introspect_->TableNames()) {
+        known += (known.empty() ? "" : ", ") + name;
+      }
+      return Status::CatalogError("unknown system table 'xdb_stat." + table +
+                                  "'; known system tables: [" + known + "]");
+    }
+    snapshots[table] = provider->Snapshot();
+  }
+
+  SpanRecorder* spans = fed_->span_recorder();
+  SpanGuard introspect_span(spans, "introspect");
+  if (Span* sp = introspect_span.span()) {
+    sp->Tag("snapshots", static_cast<int64_t>(snapshots.size()));
+  }
+
+  XdbReport report;
+  // Mediator-local planning: the normal logical optimizer over a resolver
+  // that binds against the snapshots — never the GlobalCatalog, so zero
+  // metadata roundtrips by construction (asserted in tests via
+  // report.metadata_roundtrips).
+  IntrospectionResolver resolver(&snapshots);
+  Planner planner(&resolver, options_.planner);
+  XDB_ASSIGN_OR_RETURN(PlanPtr plan, planner.Plan(*stmt));
+  size_t njoins = stmt->from.size() > 0 ? stmt->from.size() - 1 : 0;
+  report.phases.prep = options_.parse_analyze_cost;
+  report.phases.lopt =
+      options_.lopt_base_cost +
+      options_.lopt_per_join_cost * static_cast<double>(njoins);
+  fed_->ChargeBudget(report.phases.prep + report.phases.lopt);
+  if (ctx.deadline_seconds > 0 && fed_->RemainingBudget() == 0.0) {
+    return Status::Timeout("query deadline (" +
+                           std::to_string(ctx.deadline_seconds) +
+                           "s of modelled time) exhausted during "
+                           "introspection planning");
+  }
+
+  // Execute on the middleware node with the normal vectorized executor.
+  // No delegation, no DDL, no transfers — phases.ann and phases.exec stay
+  // zero and the trace carries no transfer records.
+  int threads = options_.exec_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  IntrospectionExecContext exec_ctx(&snapshots, threads);
+  XDB_ASSIGN_OR_RETURN(report.result, ExecutePlan(*plan, &exec_ctx));
+  report.trace.root_server = options_.middleware_node;
+  report.trace.root_compute = *exec_ctx.trace();
+  return report;
+}
+
 Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
                                        const QueryContext& ctx, int query_id,
                                        RunTrace* fail_trace) {
@@ -360,6 +575,22 @@ Result<XdbReport> XdbSystem::QueryImpl(const std::string& sql,
   } finalize_spans{spans};
   SpanGuard query_span(spans, "query " + std::to_string(query_id));
   if (Span* sp = query_span.span()) sp->Tag("sql", sql);
+
+  // --- `xdb_stat.*` system tables: mediator-local, before everything. ---
+  // Routed ahead of the health consult and the plan-cache probe so an
+  // introspection query never consults breakers, never probes or populates
+  // the cache, and never touches the GlobalCatalog. The substring probe is
+  // the only cost non-users pay — and only once introspection was enabled.
+  if (introspect_ != nullptr && MentionsXdbStat(sql)) {
+    bool handled = false;
+    Result<XdbReport> r = RunIntrospectionQuery(sql, ctx, &handled);
+    if (handled) {
+      if (r.ok()) r->wall_seconds = NowSeconds() - wall_start;
+      return r;
+    }
+    // Parsed but referenced no xdb_stat relation (the qualifier sat in a
+    // string literal) — fall through to the federation pipeline.
+  }
 
   // --- Circuit breakers: consult the health tracker once per query. ---
   // Every open breaker seeds the planning constraints, so the planner

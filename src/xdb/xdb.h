@@ -15,6 +15,9 @@
 
 namespace xdb {
 
+class IntrospectionRegistry;
+class SessionManager;
+
 /// \brief Knobs for the XDB middleware.
 struct XdbOptions {
   /// Modelled-time scale-up: local rows are costed as if multiplied by this
@@ -146,6 +149,7 @@ class XdbSystem {
   /// Builds connectors (with vendor dialects) for every server in `fed` and
   /// discovers the Global-as-a-View schema.
   explicit XdbSystem(Federation* fed, XdbOptions options = {});
+  ~XdbSystem();
 
   /// Runs a cross-database SQL query end to end. When the federation has a
   /// QueryLog and/or MetricsRegistry attached, one QueryStats record and
@@ -206,6 +210,26 @@ class XdbSystem {
   /// concurrent serving, "most recent" is whichever query finished last.
   const RunTrace& last_trace() const { return last_trace_; }
 
+  // --- SQL-queryable introspection (DESIGN.md §14) ---
+
+  /// Enables the `xdb_stat.*` virtual system tables on this system,
+  /// registering the standard providers lazily (idempotent; later calls may
+  /// wire a SessionManager that wasn't available earlier). Until this is
+  /// called, `xdb_stat` queries fail with a catalog error and the query
+  /// pipeline pays nothing — the default detached path is bit-identical.
+  /// Setup-time API: call before serving queries concurrently.
+  IntrospectionRegistry* EnableIntrospection(
+      SessionManager* sessions = nullptr);
+
+  /// The registry when introspection is enabled, else nullptr.
+  IntrospectionRegistry* introspection() const { return introspect_.get(); }
+
+  /// Lifetime count of queries started on this system (feeds the
+  /// `xdb_uptime_queries_total` snapshot counter).
+  int64_t queries_started() const {
+    return query_counter_.load(std::memory_order_relaxed);
+  }
+
  private:
   double Rtt(const std::string& server) const;
 
@@ -228,12 +252,24 @@ class XdbSystem {
   void CountPlanCache(bool hit, int evictions);
   void CountPlanCacheEvictions(int evictions);
 
+  /// Runs a `SELECT` over the `xdb_stat.*` system tables mediator-local:
+  /// snapshots every referenced provider once at query start, plans with
+  /// the normal logical optimizer, and executes on the middleware node with
+  /// the vectorized executor — zero metadata roundtrips, zero consultations,
+  /// zero transfers, never plan-cached. `*handled` is false (fall through
+  /// to the federation pipeline) when the statement parses but references
+  /// no xdb_stat relation after all.
+  Result<XdbReport> RunIntrospectionQuery(const std::string& sql,
+                                          const QueryContext& ctx,
+                                          bool* handled);
+
   Federation* fed_;
   XdbOptions options_;
   std::map<std::string, std::unique_ptr<DbmsConnector>> connectors_;
   std::map<std::string, DbmsConnector*> connector_ptrs_;
   std::unique_ptr<GlobalCatalog> catalog_;
   std::unique_ptr<DelegationPlanCache> plan_cache_;
+  std::unique_ptr<IntrospectionRegistry> introspect_;  // null until enabled
   uint64_t profile_hash_ = 0;  // engine profiles are setup-time constant
   std::atomic<int64_t> placement_epoch_{0};
   std::atomic<int> query_counter_{0};

@@ -184,6 +184,10 @@ TRANSFER_KEYS = {
 RECOVERY_ACTIONS = {
     "none", "retried", "rolled-back", "replanned", "degraded", "failed"
 }
+INTROSPECTION_KEYS = {
+    "tables", "probe_sql", "probe_rows", "probe_stable", "probe_pinned"
+}
+INTROSPECTION_TABLE_KEYS = {"name", "rows", "columns"}
 
 
 class Validator:
@@ -385,9 +389,46 @@ class Validator:
                              f"{path}.estimates")
         self.check_trace(trace, f"{path}.trace")
 
-    def check_file(self, doc):
-        if not self.require_keys(doc, {"bench", "scale_up", "runs"}, "$"):
+    def check_introspection(self, block, path):
+        """Validates the optional micro_obs `introspection` block: the
+        xdb_stat.* table shapes plus the deterministic-probe verdicts."""
+        if not self.require_keys(block, INTROSPECTION_KEYS, path):
             return
+        if not isinstance(block["tables"], list) or not block["tables"]:
+            self.error(f"{path}.tables", "expected non-empty array")
+            return
+        names = []
+        for i, t in enumerate(block["tables"]):
+            tpath = f"{path}.tables[{i}]"
+            if not self.require_keys(t, INTROSPECTION_TABLE_KEYS, tpath):
+                continue
+            if not isinstance(t["name"], str) or not t["name"]:
+                self.error(f"{tpath}.name", "expected non-empty string")
+            else:
+                names.append(t["name"])
+            self.require_number(t, "rows", tpath, minimum=0)
+            self.require_number(t, "columns", tpath, minimum=1)
+        if names != sorted(names):
+            self.error(f"{path}.tables", "table names not sorted")
+        if not isinstance(block["probe_sql"], str) or not block["probe_sql"]:
+            self.error(f"{path}.probe_sql", "expected non-empty string")
+        self.require_number(block, "probe_rows", path, minimum=0)
+        for key in ("probe_stable", "probe_pinned"):
+            if not isinstance(block.get(key), bool):
+                self.error(f"{path}.{key}", "expected bool")
+            elif not block[key]:
+                # The probe diverging across reruns (or escaping the
+                # mediator) is exactly what this artifact exists to catch.
+                self.error(f"{path}.{key}", "expected true")
+
+    def check_file(self, doc):
+        keys = {"bench", "scale_up", "runs"}
+        if "introspection" in (doc.keys() if isinstance(doc, dict) else ()):
+            keys = keys | {"introspection"}
+        if not self.require_keys(doc, keys, "$"):
+            return
+        if "introspection" in doc:
+            self.check_introspection(doc["introspection"], "$.introspection")
         if not isinstance(doc["bench"], str) or not doc["bench"]:
             self.error("$.bench", "expected non-empty string")
         self.require_number(doc, "scale_up", "$", minimum=1)
